@@ -1,0 +1,197 @@
+// Package blp is the public API of this reproduction of "Enabling
+// Branch-Mispredict Level Parallelism by Selectively Flushing
+// Instructions" (Eyerman, Heirman, Van den Steen, Hur — MICRO 2021).
+//
+// It wraps the internal cycle-level out-of-order core simulator, the GAP
+// graph kernels plus merge sort in the virtual ISA, and the experiment
+// harness that regenerates every table and figure of the paper's
+// evaluation. See README.md for a tour and EXPERIMENTS.md for the
+// paper-vs-measured record.
+//
+// Quick start:
+//
+//	res, err := blp.Run(blp.Options{Benchmark: "bfs", Mode: blp.SliceOuter})
+//	base, _ := blp.Run(blp.Options{Benchmark: "bfs"})
+//	fmt.Printf("speedup: %.2f\n", blp.Speedup(base, res))
+package blp
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/kernels"
+	"repro/internal/sim"
+)
+
+// SliceMode selects the slice-instruction placement (§6.1 of the paper).
+type SliceMode = kernels.SliceMode
+
+// Slice placements re-exported from the kernels package.
+const (
+	SliceNone  = kernels.SliceNone
+	SliceOuter = kernels.SliceOuter
+	SliceInner = kernels.SliceInner
+)
+
+// Benchmarks lists the evaluated workloads in the paper's order: the six
+// GAP kernels and merge sort.
+var Benchmarks = kernels.Names
+
+// InnerSliceable reports whether a benchmark supports inner-loop slicing.
+func InnerSliceable(benchmark string) bool { return kernels.InnerSliceable(benchmark) }
+
+// Options configures one simulation run. The zero value of most fields
+// selects the paper's defaults (Table 1 core, scaled memory hierarchy,
+// single core, TAGE).
+type Options struct {
+	// Benchmark is one of Benchmarks ("bc", "bfs", "cc", "pr", "sssp",
+	// "tc", "ms").
+	Benchmark string
+	// Mode places slice instructions; SliceNone builds the baseline
+	// binary. Selective-flush hardware is enabled iff Mode != SliceNone.
+	Mode SliceMode
+
+	// Scale overrides the input size (log2 vertices; log2 elements for
+	// ms). 0 selects the per-benchmark default.
+	Scale int
+	// Degree is the RMAT average degree (default 16, as in GAP).
+	Degree int
+	// Seed selects the synthetic input instance.
+	Seed uint64
+
+	// Cores is the number of cores (default 1; Fig. 10 uses more).
+	Cores int
+	// SMT is hardware threads per core (1, 2, or 4; Fig. 11).
+	SMT int
+
+	// Predictor overrides the direction predictor ("tage" default;
+	// "oracle" gives the perfect-prediction bars of Figs. 4 and 11).
+	Predictor string
+	// Reserve overrides the §4.7 resource reservation (default 8).
+	Reserve int
+	// ROBBlockSize overrides the blocked linked-list ROB block size
+	// (default 1; Fig. 8 sweeps 1..16).
+	ROBBlockSize int
+	// FRQSize overrides the fetch redirect queue depth (default 8).
+	FRQSize int
+
+	// PaperScaleMem uses the full Table 1 memory hierarchy instead of
+	// the scaled-down default (needs correspondingly large inputs).
+	PaperScaleMem bool
+	// WrongPathMemAccess lets wrong-path loads touch the caches
+	// (pollution and prefetching); see DESIGN.md's calibration notes.
+	WrongPathMemAccess bool
+	// CheckIndependence enables the §4.1 slice-contract checker.
+	CheckIndependence bool
+	// TraceEvents, when positive, prints that many pipeline events
+	// (fetch-miss/dispatch/commit/recovery) to stderr.
+	TraceEvents int64
+	// PRIters is the number of PageRank sweeps (default 3).
+	PRIters int
+}
+
+// Result is the outcome of one run.
+type Result struct {
+	// Cycles is the simulated execution time.
+	Cycles int64
+	// IPC is committed instructions per cycle.
+	IPC float64
+	// Stats carries the full core counters (aggregated over cores).
+	Stats core.Stats
+	// PerCore has one entry per simulated core.
+	PerCore []core.Stats
+	// LLCMissRate and DRAMBusy summarize the memory system.
+	LLCMissRate float64
+	DRAMBusy    float64
+	// Energy is the event-energy proxy of the run (arbitrary units; see
+	// sim.DefaultEnergyModel), supporting the paper's efficiency claim.
+	Energy sim.Energy
+	// EnergyUseful is the committed share of dispatched instructions —
+	// the fraction of dynamic pipeline energy that was not wasted on
+	// wrong paths or marker overhead (Fig. 6's efficiency story).
+	EnergyUseful float64
+}
+
+// Speedup returns base.Cycles / other.Cycles.
+func Speedup(base, other *Result) float64 {
+	if other.Cycles == 0 {
+		return 0
+	}
+	return float64(base.Cycles) / float64(other.Cycles)
+}
+
+// Run builds the requested workload and simulates it to completion,
+// validating the final memory image against the host reference.
+func Run(o Options) (*Result, error) {
+	spec := kernels.Spec{
+		Kernel:  o.Benchmark,
+		Scale:   o.Scale,
+		Degree:  o.Degree,
+		Seed:    o.Seed,
+		Mode:    o.Mode,
+		PRIters: o.PRIters,
+	}
+	cores := o.Cores
+	if cores == 0 {
+		cores = 1
+	}
+	smt := o.SMT
+	if smt == 0 {
+		smt = 1
+	}
+	spec.Threads = cores * smt
+
+	w, err := kernels.Build(spec)
+	if err != nil {
+		return nil, err
+	}
+
+	cfg := sim.DefaultConfig()
+	cfg.Cores = cores
+	cfg.Core.SMT = smt
+	cfg.Core.SelectiveFlush = o.Mode != SliceNone
+	cfg.Core.WrongPathMemAccess = o.WrongPathMemAccess
+	cfg.CheckIndependence = o.CheckIndependence
+	if o.Predictor != "" {
+		cfg.Core.Predictor = o.Predictor
+	}
+	if o.Reserve != 0 {
+		cfg.Core.Reserve = o.Reserve
+	}
+	if o.ROBBlockSize != 0 {
+		cfg.Core.ROBBlockSize = o.ROBBlockSize
+	}
+	if o.FRQSize != 0 {
+		cfg.Core.FRQSize = o.FRQSize
+	}
+	if o.PaperScaleMem {
+		cfg.Mem = sim.Table1MemConfig(cores)
+	} else {
+		cfg.Mem = sim.ScaledMemConfig(cores)
+	}
+	if o.TraceEvents > 0 {
+		cfg.Core.Trace = os.Stderr
+		cfg.Core.TraceLimit = o.TraceEvents
+	}
+
+	r, err := sim.Run(cfg, w)
+	if err != nil {
+		return nil, fmt.Errorf("blp: %s (%v): %w", o.Benchmark, o.Mode, err)
+	}
+	e := sim.EstimateEnergy(sim.DefaultEnergyModel(), r)
+	dispatched := r.Total.DispCorrect + r.Total.DispWrong + r.Total.DispOverhead
+	return &Result{
+		Cycles:       r.Cycles,
+		IPC:          r.Total.IPC(),
+		Stats:        r.Total,
+		PerCore:      r.PerCore,
+		LLCMissRate:  r.LLCMissRate,
+		DRAMBusy:     r.DRAMBusy,
+		Energy:       e,
+		EnergyUseful: e.UsefulFraction(r.Total.Committed, dispatched),
+	}, nil
+}
+
+// DefaultScale returns the default input scale for a benchmark.
+func DefaultScale(benchmark string) int { return kernels.DefaultScale(benchmark) }

@@ -1,0 +1,104 @@
+package blp
+
+import (
+	"testing"
+
+	"repro/internal/stats"
+)
+
+func TestRunSmall(t *testing.T) {
+	base, err := Run(Options{Benchmark: "cc", Scale: 7, CheckIndependence: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Cycles == 0 || base.IPC <= 0 {
+		t.Fatalf("empty result: %+v", base)
+	}
+	sl, err := Run(Options{Benchmark: "cc", Scale: 7, Mode: SliceOuter, CheckIndependence: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sl.Stats.SliceRecoveries == 0 {
+		t.Fatal("selective flush never engaged")
+	}
+	if base.Stats.Committed != sl.Stats.Committed {
+		t.Fatalf("committed mismatch: %d vs %d", base.Stats.Committed, sl.Stats.Committed)
+	}
+	if s := Speedup(base, sl); s <= 0 {
+		t.Fatalf("speedup %f", s)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if _, err := Run(Options{Benchmark: "nope"}); err == nil {
+		t.Fatal("unknown benchmark accepted")
+	}
+	if _, err := Run(Options{Benchmark: "bfs", Mode: SliceInner}); err == nil {
+		t.Fatal("inner slicing on bfs accepted (§6.1 forbids)")
+	}
+}
+
+func TestBestMode(t *testing.T) {
+	// The measured-best placements of this reproduction's Fig. 4 (the
+	// paper's own "test a few options" prescription; see experiments.go
+	// for where they differ from the paper's picks).
+	if BestMode("sssp") != SliceInner || BestMode("bc") != SliceInner {
+		t.Fatal("sssp/bc best mode should be inner")
+	}
+	if BestMode("cc") != SliceOuter || BestMode("ms") != SliceOuter {
+		t.Fatal("cc/ms best mode should be outer")
+	}
+}
+
+func TestBenchmarksComplete(t *testing.T) {
+	want := map[string]bool{"bc": true, "bfs": true, "cc": true, "pr": true,
+		"sssp": true, "tc": true, "ms": true}
+	if len(Benchmarks) != len(want) {
+		t.Fatalf("benchmarks = %v", Benchmarks)
+	}
+	for _, b := range Benchmarks {
+		if !want[b] {
+			t.Fatalf("unexpected benchmark %q", b)
+		}
+		if DefaultScale(b) < 6 {
+			t.Fatalf("%s default scale %d", b, DefaultScale(b))
+		}
+	}
+}
+
+func TestTable1Renders(t *testing.T) {
+	f := Table1()
+	if f.Table == nil || f.ID != "table1" {
+		t.Fatal("table1 malformed")
+	}
+	if len(f.String()) < 100 {
+		t.Fatal("table1 suspiciously short")
+	}
+}
+
+// TestFigureHarnessTiny runs the lightest figure end-to-end at a small
+// scale to keep the experiment plumbing covered by `go test`.
+func TestFigureHarnessTiny(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment harness is slow")
+	}
+	f, err := Fig7(-6, []int{8}) // tiny inputs (scales clamp at 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Values) == 0 {
+		t.Fatal("no values recorded")
+	}
+	for k, v := range f.Values {
+		if v <= 0 {
+			t.Fatalf("non-positive speedup %s=%f", k, v)
+		}
+	}
+}
+
+func TestScaledClamp(t *testing.T) {
+	if s := scaled("ms", -100); s != 6 {
+		t.Fatalf("scale clamp = %d", s)
+	}
+	_ = stats.HarmonicMeanSpeedup // keep the dependency explicit
+}

@@ -1,0 +1,78 @@
+// Command experiments regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	experiments                 # everything, default scales
+//	experiments -fig 4          # one figure
+//	experiments -fig 7 -delta -1  # quicker, one scale step smaller
+//	experiments -fig 10 -cores 28 # the paper's full core count
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strings"
+	"time"
+
+	blp "repro"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("experiments: ")
+
+	fig := flag.String("fig", "all", "which experiment: table1, motivation, 4..11, or all")
+	delta := flag.Int("delta", 0, "input-scale delta (negative = smaller/faster)")
+	cores := flag.Int("cores", 4, "core count for fig10")
+	sizeDelta := flag.Int("sizedelta", 1, "extra input-scale steps for fig10's multicore runs")
+	flag.Parse()
+
+	type exp struct {
+		id  string
+		run func() (*blp.Figure, error)
+	}
+	all := []exp{
+		{"table1", func() (*blp.Figure, error) { return blp.Table1(), nil }},
+		{"motivation", func() (*blp.Figure, error) { return blp.Motivation(*delta) }},
+		{"4", func() (*blp.Figure, error) { return blp.Fig4(*delta) }},
+		{"5", func() (*blp.Figure, error) { return blp.Fig5(*delta) }},
+		{"6", func() (*blp.Figure, error) { return blp.Fig6(*delta) }},
+		{"7", func() (*blp.Figure, error) { return blp.Fig7(*delta, nil) }},
+		{"8", func() (*blp.Figure, error) { return blp.Fig8(*delta, nil) }},
+		{"9", func() (*blp.Figure, error) { return blp.Fig9(*delta) }},
+		{"10", func() (*blp.Figure, error) { return blp.Fig10(*delta, *cores, *sizeDelta) }},
+		{"11", func() (*blp.Figure, error) { return blp.Fig11(*delta) }},
+	}
+
+	want := strings.Split(*fig, ",")
+	match := func(id string) bool {
+		if *fig == "all" {
+			return true
+		}
+		for _, w := range want {
+			if strings.TrimSpace(w) == id || "fig"+strings.TrimSpace(w) == id {
+				return true
+			}
+		}
+		return false
+	}
+
+	ran := 0
+	for _, e := range all {
+		if !match(e.id) {
+			continue
+		}
+		ran++
+		start := time.Now()
+		f, err := e.run()
+		if err != nil {
+			log.Fatalf("fig %s: %v", e.id, err)
+		}
+		fmt.Println(f)
+		fmt.Printf("(generated in %v)\n\n", time.Since(start).Round(time.Second))
+	}
+	if ran == 0 {
+		log.Fatalf("no experiment matches -fig %q", *fig)
+	}
+}

@@ -1,0 +1,104 @@
+// Command sfsim runs one benchmark through the selective-flush simulator
+// and prints its statistics.
+//
+// Usage:
+//
+//	sfsim -bench bfs -mode outer
+//	sfsim -bench cc -mode inner -scale 11 -predictor oracle
+//	sfsim -bench ms -cores 4 -compare
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	blp "repro"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("sfsim: ")
+
+	bench := flag.String("bench", "bfs", "benchmark: "+strings.Join(blp.Benchmarks, ", "))
+	mode := flag.String("mode", "none", "slice placement: none, outer, inner")
+	scale := flag.Int("scale", 0, "input scale (log2 vertices; 0 = default)")
+	degree := flag.Int("degree", 0, "RMAT average degree (0 = 16)")
+	seed := flag.Uint64("seed", 0, "input seed (0 = 1)")
+	cores := flag.Int("cores", 1, "number of cores")
+	smt := flag.Int("smt", 1, "SMT threads per core (1, 2, 4)")
+	predictor := flag.String("predictor", "", "branch predictor: tage (default), gshare, bimodal, static, oracle")
+	reserve := flag.Int("reserve", 0, "reserved entries for resolve paths (0 = 8)")
+	block := flag.Int("robblock", 0, "ROB block size (0 = 1, pure linked list)")
+	paperMem := flag.Bool("papermem", false, "use the full Table 1 memory hierarchy")
+	check := flag.Bool("checkslices", false, "enable the slice independence checker")
+	compare := flag.Bool("compare", false, "also run the baseline and report the speedup")
+	trace := flag.Int64("trace", 0, "print the first N pipeline events to stderr")
+	flag.Parse()
+
+	var m blp.SliceMode
+	switch *mode {
+	case "none":
+		m = blp.SliceNone
+	case "outer":
+		m = blp.SliceOuter
+	case "inner":
+		m = blp.SliceInner
+	default:
+		log.Fatalf("unknown mode %q", *mode)
+	}
+
+	opts := blp.Options{
+		Benchmark: *bench, Mode: m, Scale: *scale, Degree: *degree,
+		Seed: *seed, Cores: *cores, SMT: *smt, Predictor: *predictor,
+		Reserve: *reserve, ROBBlockSize: *block, PaperScaleMem: *paperMem,
+		CheckIndependence: *check, TraceEvents: *trace,
+	}
+	res, err := blp.Run(opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	printResult(opts, res)
+
+	if *compare && m != blp.SliceNone {
+		b := opts
+		b.Mode = blp.SliceNone
+		base, err := blp.Run(b)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\nbaseline cycles: %d\nspeedup:         %.3f\n",
+			base.Cycles, blp.Speedup(base, res))
+	}
+}
+
+func printResult(o blp.Options, r *blp.Result) {
+	s := r.Stats
+	fmt.Fprintf(os.Stdout, "benchmark:    %s (mode=%v, scale=%d)\n", o.Benchmark, o.Mode, effScale(o))
+	fmt.Printf("cycles:       %d\n", r.Cycles)
+	fmt.Printf("instructions: %d (IPC %.3f)\n", s.Committed, r.IPC)
+	fmt.Printf("branches:     %d, mispredicted %d (%.2f%%, %.1f MPKI)\n",
+		s.Branches, s.Mispredicts, 100*s.MispredictRate(), s.MPKI())
+	fmt.Printf("dispatched:   correct=%d wrongPath=%d sliceOverhead=%d\n",
+		s.DispCorrect, s.DispWrong, s.DispOverhead)
+	fmt.Printf("recoveries:   selective=%d conventional=%d nested=%d (FRQ peak %d)\n",
+		s.SliceRecoveries, s.ConvRecoveries, s.NestedMisses, s.FRQPeak)
+	fmt.Printf("flushed:      selective=%d full=%d robGaps=%d\n",
+		s.FlushedSelective, s.FlushedFull, s.GapsCreated)
+	tot := s.StackTotal()
+	fmt.Printf("cycle stack:  exec %.1f%%  branch %.1f%%  mem %.1f%%  other %.1f%%\n",
+		100*s.StackExec/tot, 100*s.StackBranch/tot, 100*s.StackMem/tot, 100*s.StackOther/tot)
+	fmt.Printf("memory:       LLC miss %.1f%%, DRAM busy %.1f%%\n",
+		100*r.LLCMissRate, 100*r.DRAMBusy)
+	fmt.Printf("energy proxy: %.3g units, %.1f%% on committed work\n",
+		r.Energy.Total(), 100*r.EnergyUseful)
+}
+
+func effScale(o blp.Options) int {
+	if o.Scale != 0 {
+		return o.Scale
+	}
+	return blp.DefaultScale(o.Benchmark)
+}

@@ -1,0 +1,41 @@
+// Quickstart: run one GAP kernel on the baseline core and on the
+// selective-flush core, and report the speedup — the paper's headline
+// experiment for a single benchmark.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	blp "repro"
+)
+
+func main() {
+	const bench = "ms" // merge sort: the paper's most slice-friendly kernel
+
+	fmt.Printf("running %s, baseline core...\n", bench)
+	base, err := blp.Run(blp.Options{Benchmark: bench})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  %d cycles, IPC %.2f, %.1f branch MPKI\n",
+		base.Cycles, base.IPC, base.Stats.MPKI())
+
+	fmt.Printf("running %s with slice instructions + selective flush...\n", bench)
+	sliced, err := blp.Run(blp.Options{Benchmark: bench, Mode: blp.SliceOuter})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  %d cycles, %d selective recoveries (conventional: %d)\n",
+		sliced.Cycles, sliced.Stats.SliceRecoveries, sliced.Stats.ConvRecoveries)
+
+	fmt.Printf("\nspeedup from selective flushing: %.3fx\n", blp.Speedup(base, sliced))
+
+	oracle, err := blp.Run(blp.Options{Benchmark: bench, Predictor: "oracle"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("perfect branch prediction bound:  %.3fx\n", blp.Speedup(base, oracle))
+}

@@ -1,0 +1,199 @@
+// Package bpred implements branch direction predictors (TAGE, gshare,
+// bimodal, static, oracle) and a branch target buffer.
+//
+// The simulator is trace-driven: the actual branch outcome is known at
+// prediction time and is passed to Predict so that the oracle predictor
+// can be expressed uniformly. Honest predictors ignore it.
+//
+// History management follows hardware practice: the global history is
+// updated speculatively at fetch with the *predicted* direction (wrong-path
+// branches included), and repaired from a snapshot when a misprediction
+// resolves. Predict returns a Pred token holding the snapshot and the
+// table indices computed from prediction-time history; Resolve consumes it.
+package bpred
+
+// Predictor is the common direction-predictor interface.
+type Predictor interface {
+	// Predict returns the predicted direction for the conditional
+	// branch at pc and a token to pass back to Resolve. actual is the
+	// trace outcome (used only by the oracle).
+	Predict(pc uint64, actual bool) (bool, Pred)
+	// OnFetch shifts the direction the frontend actually followed into
+	// the speculative global history. Call once per fetched conditional
+	// branch (correct or wrong path).
+	OnFetch(taken bool)
+	// Resolve trains the predictor with the actual outcome of a
+	// correct-path branch. When the prediction was wrong and repairHist
+	// is true (a conventional flush discarded everything fetched since),
+	// the speculative history is repaired from the token's snapshot; a
+	// selective flush keeps younger fetched branches in flight, so the
+	// core passes repairHist=false and the history keeps evolving.
+	Resolve(p Pred, pc uint64, actual bool, repairHist bool)
+	// Name identifies the predictor in reports.
+	Name() string
+}
+
+// Pred is the per-prediction token: the predicted direction, the history
+// snapshot for repair, and predictor-specific indices computed at
+// prediction time.
+type Pred struct {
+	Taken bool
+	Hist  uint64 // speculative global history at prediction time
+
+	// TAGE fields (see tage.go).
+	provider int // table number of the providing component, -1 = base
+	altPred  bool
+	provPred bool
+	idx      [tageTables]uint32
+	tag      [tageTables]uint16
+	baseIdx  uint32
+}
+
+// New constructs a predictor by name: "tage", "gshare", "bimodal",
+// "static", or "oracle". Unknown names panic: predictor choice is a
+// configuration-time decision.
+func New(name string) Predictor {
+	switch name {
+	case "tage":
+		return NewTAGE()
+	case "gshare":
+		return NewGshare(14, 12)
+	case "bimodal":
+		return NewBimodal(14)
+	case "static":
+		return Static{}
+	case "oracle":
+		return &Oracle{}
+	}
+	panic("bpred: unknown predictor " + name)
+}
+
+// ctrUpdate saturates a small signed counter in [-(1<<(bits-1)), (1<<(bits-1))-1].
+func ctrUpdate(ctr int8, taken bool, bits uint) int8 {
+	maxv := int8(1<<(bits-1)) - 1
+	minv := -int8(1 << (bits - 1))
+	if taken {
+		if ctr < maxv {
+			ctr++
+		}
+	} else {
+		if ctr > minv {
+			ctr--
+		}
+	}
+	return ctr
+}
+
+// Static predicts backward branches taken and forward branches not taken.
+// Lacking target information at this layer, it predicts not-taken, which
+// matches the forward data-dependent branches that dominate the evaluated
+// kernels; loop closers are mispredicted once per loop.
+type Static struct{}
+
+// Predict implements Predictor.
+func (Static) Predict(uint64, bool) (bool, Pred) { return false, Pred{} }
+
+// OnFetch implements Predictor.
+func (Static) OnFetch(bool) {}
+
+// Resolve implements Predictor.
+func (Static) Resolve(Pred, uint64, bool, bool) {}
+
+// Name implements Predictor.
+func (Static) Name() string { return "static" }
+
+// Oracle always predicts correctly: the perfect-branch-prediction
+// configuration of Figs. 4 and 11.
+type Oracle struct{}
+
+// Predict implements Predictor.
+func (*Oracle) Predict(_ uint64, actual bool) (bool, Pred) {
+	return actual, Pred{Taken: actual}
+}
+
+// OnFetch implements Predictor.
+func (*Oracle) OnFetch(bool) {}
+
+// Resolve implements Predictor.
+func (*Oracle) Resolve(Pred, uint64, bool, bool) {}
+
+// Name implements Predictor.
+func (*Oracle) Name() string { return "oracle" }
+
+// Bimodal is a table of 2-bit saturating counters indexed by PC.
+type Bimodal struct {
+	ctr  []int8
+	mask uint64
+}
+
+// NewBimodal returns a bimodal predictor with 2^bits counters.
+func NewBimodal(bits uint) *Bimodal {
+	return &Bimodal{ctr: make([]int8, 1<<bits), mask: 1<<bits - 1}
+}
+
+// Predict implements Predictor.
+func (b *Bimodal) Predict(pc uint64, _ bool) (bool, Pred) {
+	t := b.ctr[pc&b.mask] >= 0
+	return t, Pred{Taken: t}
+}
+
+// OnFetch implements Predictor.
+func (b *Bimodal) OnFetch(bool) {}
+
+// Resolve implements Predictor.
+func (b *Bimodal) Resolve(_ Pred, pc uint64, actual bool, _ bool) {
+	i := pc & b.mask
+	b.ctr[i] = ctrUpdate(b.ctr[i], actual, 2)
+}
+
+// Name implements Predictor.
+func (b *Bimodal) Name() string { return "bimodal" }
+
+// Gshare XORs the global history with the PC to index a counter table.
+type Gshare struct {
+	ctr      []int8
+	mask     uint64
+	hist     uint64
+	histBits uint
+}
+
+// NewGshare returns a gshare predictor with 2^tableBits counters and
+// histBits bits of global history.
+func NewGshare(tableBits, histBits uint) *Gshare {
+	return &Gshare{
+		ctr:      make([]int8, 1<<tableBits),
+		mask:     1<<tableBits - 1,
+		histBits: histBits,
+	}
+}
+
+// Predict implements Predictor.
+func (g *Gshare) Predict(pc uint64, _ bool) (bool, Pred) {
+	idx := (pc ^ (g.hist & (1<<g.histBits - 1))) & g.mask
+	t := g.ctr[idx] >= 0
+	return t, Pred{Taken: t, Hist: g.hist}
+}
+
+// OnFetch implements Predictor.
+func (g *Gshare) OnFetch(taken bool) {
+	g.hist = g.hist<<1 | b2u(taken)
+}
+
+// Resolve implements Predictor.
+func (g *Gshare) Resolve(p Pred, pc uint64, actual bool, repairHist bool) {
+	idx := (pc ^ (p.Hist & (1<<g.histBits - 1))) & g.mask
+	g.ctr[idx] = ctrUpdate(g.ctr[idx], actual, 2)
+	if p.Taken != actual && repairHist {
+		g.hist = p.Hist<<1 | b2u(actual)
+	}
+}
+
+// Name implements Predictor.
+func (g *Gshare) Name() string { return "gshare" }
+
+func b2u(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,182 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func newTestCache(sizeKB, ways int, next Level) *Cache {
+	return New(Config{
+		Name: "t", SizeBytes: sizeKB << 10, Ways: ways, LineBytes: 64,
+		HitLatency: 4,
+	}, next)
+}
+
+func TestHitMiss(t *testing.T) {
+	mem := NewMemory(100, 64, 64)
+	c := newTestCache(4, 4, mem)
+
+	// Cold miss goes to memory.
+	done := c.Access(0x1000, 0, false, false)
+	if done < 100 {
+		t.Fatalf("cold miss done at %d, want >= 100", done)
+	}
+	if !c.Contains(0x1000) {
+		t.Fatal("line not installed")
+	}
+	// Hit after the fill completes.
+	hit := c.Access(0x1000, done, false, false)
+	if hit != done+4 {
+		t.Fatalf("hit latency = %d, want %d", hit-done, 4)
+	}
+	st := c.Stats()
+	if st.Accesses != 2 || st.Misses != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestInFlightFill(t *testing.T) {
+	mem := NewMemory(100, 64, 64)
+	c := newTestCache(4, 4, mem)
+	done := c.Access(0x2000, 0, false, false)
+	// A second access during the fill waits for it, not a fresh miss.
+	second := c.Access(0x2000, 10, false, false)
+	if second < done || second > done+8 {
+		t.Fatalf("in-flight access done at %d vs fill %d", second, done)
+	}
+	if c.Stats().Misses != 1 {
+		t.Fatal("in-flight access counted as a miss")
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	mem := NewMemory(10, 64, 64)
+	// 2 sets x 2 ways of 64B lines = 256 B.
+	c := New(Config{Name: "t", SizeBytes: 256, Ways: 2, HitLatency: 1}, mem)
+	// Three lines mapping to set 0 (stride = 2 lines).
+	a, b, d := uint64(0), uint64(128), uint64(256)
+	c.Access(a, 0, false, false)
+	c.Access(b, 100, false, false)
+	c.Access(a, 200, false, false) // refresh a
+	c.Access(d, 300, false, false) // evicts b (LRU)
+	if !c.Contains(a) || !c.Contains(d) {
+		t.Fatal("wrong victim")
+	}
+	if c.Contains(b) {
+		t.Fatal("LRU line not evicted")
+	}
+}
+
+func TestWritebackDirty(t *testing.T) {
+	mem := NewMemory(10, 64, 64)
+	c := New(Config{Name: "t", SizeBytes: 128, Ways: 1, HitLatency: 1}, mem)
+	c.Access(0, 0, true, false)      // dirty line in set 0
+	c.Access(128, 100, false, false) // evicts it -> writeback
+	if c.Stats().Writebacks != 1 {
+		t.Fatalf("writebacks = %d, want 1", c.Stats().Writebacks)
+	}
+}
+
+func TestMSHRLimit(t *testing.T) {
+	mem := NewMemory(100, 6400, 64)
+	c := New(Config{Name: "t", SizeBytes: 4 << 10, Ways: 4, HitLatency: 1, MSHRs: 2}, mem)
+	// Three concurrent misses with only 2 MSHRs: the third must wait for
+	// the first fill.
+	d1 := c.Access(0x0000, 0, false, false)
+	d2 := c.Access(0x1000, 0, false, false)
+	d3 := c.Access(0x2000, 0, false, false)
+	if d1 > 110 || d2 > 110 {
+		t.Fatalf("first two misses delayed: %d %d", d1, d2)
+	}
+	if d3 < 195 {
+		t.Fatalf("third miss done at %d, want MSHR-delayed (>= 195)", d3)
+	}
+}
+
+func TestNextLinePrefetch(t *testing.T) {
+	mem := NewMemory(50, 64, 64)
+	c := New(Config{Name: "t", SizeBytes: 4 << 10, Ways: 4, HitLatency: 1,
+		NextLinePrefetch: true}, mem)
+	c.Access(0x100, 0, false, false)
+	if !c.Contains(0x140) {
+		t.Fatal("next line not prefetched")
+	}
+	if c.Stats().Prefetches == 0 {
+		t.Fatal("prefetch not counted")
+	}
+}
+
+func TestStridePrefetch(t *testing.T) {
+	mem := NewMemory(50, 64, 64)
+	c := New(Config{Name: "t", SizeBytes: 8 << 10, Ways: 4, HitLatency: 1,
+		StridePrefetch: true, StrideDegree: 2}, mem)
+	// Train a 128-byte stride at one PC.
+	pc := uint64(42)
+	for i := 0; i < 4; i++ {
+		c.AccessPC(uint64(i)*128, pc, int64(i)*200, false)
+	}
+	// After confidence builds, lines ahead should be resident.
+	if !c.Contains(4*128) && !c.Contains(5*128) {
+		t.Fatal("stride prefetcher did not run ahead")
+	}
+}
+
+func TestMemoryBandwidth(t *testing.T) {
+	// 64-byte lines at 4 bytes/cycle: 16 cycles per transfer.
+	mem := NewMemory(100, 4, 64)
+	d1 := mem.Access(0, 0, false, false)
+	d2 := mem.Access(64, 0, false, false)
+	if d1 != 100 {
+		t.Fatalf("first access at %d", d1)
+	}
+	if d2 != 116 {
+		t.Fatalf("second access at %d, want bandwidth-delayed 116", d2)
+	}
+	if mem.Accesses() != 2 {
+		t.Fatal("access count")
+	}
+}
+
+// TestMonotonicCompletion: completion times never precede request times,
+// regardless of the access pattern.
+func TestMonotonicCompletion(t *testing.T) {
+	f := func(addrs []uint16, writes []bool) bool {
+		mem := NewMemory(100, 8, 64)
+		l2 := New(Config{Name: "l2", SizeBytes: 2 << 10, Ways: 4, HitLatency: 10}, mem)
+		l1 := New(Config{Name: "l1", SizeBytes: 512, Ways: 2, HitLatency: 2, MSHRs: 4}, l2)
+		now := int64(0)
+		for i, a := range addrs {
+			w := i < len(writes) && writes[i]
+			done := l1.Access(uint64(a), now, w, false)
+			if done < now+2 {
+				return false
+			}
+			now += 3
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHierarchy(t *testing.T) {
+	mem := NewMemory(100, 64, 64)
+	llc := New(Config{Name: "llc", SizeBytes: 16 << 10, Ways: 8, HitLatency: 30}, mem)
+	h := NewHierarchy(HierConfig{
+		L1I: Config{Name: "l1i", SizeBytes: 4 << 10, Ways: 4, HitLatency: 1},
+		L1D: Config{Name: "l1d", SizeBytes: 4 << 10, Ways: 4, HitLatency: 4},
+		L2:  Config{Name: "l2", SizeBytes: 8 << 10, Ways: 8, HitLatency: 12},
+	}, llc, mem)
+
+	// Data and instruction streams must not alias.
+	h.Data(0x100, 1, 0, false)
+	d := h.Inst(0x100/4, 0)
+	if d <= 1 {
+		t.Fatal("instruction fetch suspiciously instant")
+	}
+	// Second access to each is a hit.
+	if hit := h.Data(0x100, 1, 1000, false); hit != 1004 {
+		t.Fatalf("L1D hit latency %d", hit-1000)
+	}
+}

@@ -1,0 +1,47 @@
+package cache
+
+// HierConfig configures a per-core cache hierarchy. LLC and memory may be
+// shared between cores (multicore runs): pass the same *Cache / *Memory to
+// every core's NewHierarchy call.
+type HierConfig struct {
+	L1I Config
+	L1D Config
+	L2  Config
+}
+
+// Hierarchy bundles a core's private L1I/L1D/L2 over a (possibly shared)
+// LLC and memory.
+type Hierarchy struct {
+	L1I *Cache
+	L1D *Cache
+	L2  *Cache
+	LLC *Cache
+	Mem *Memory
+}
+
+// NewHierarchy builds private levels over the given shared LLC.
+func NewHierarchy(cfg HierConfig, llc *Cache, mem *Memory) *Hierarchy {
+	l2 := New(cfg.L2, llc)
+	return &Hierarchy{
+		L1I: New(cfg.L1I, l2),
+		L1D: New(cfg.L1D, l2),
+		L2:  l2,
+		LLC: llc,
+		Mem: mem,
+	}
+}
+
+// Data performs a demand data access (with stride training at L1D).
+func (h *Hierarchy) Data(addr, pc uint64, now int64, write bool) int64 {
+	return h.L1D.AccessPC(addr, pc, now, write)
+}
+
+// instBase offsets instruction addresses away from data addresses so code
+// and data never alias in the shared levels. Each instruction occupies 4
+// synthetic bytes.
+const instBase = uint64(1) << 40
+
+// Inst performs an instruction fetch for the instruction at code index pc.
+func (h *Hierarchy) Inst(pc int, now int64) int64 {
+	return h.L1I.Access(instBase+uint64(pc)*4, now, false, false)
+}

@@ -1,0 +1,132 @@
+// Package core implements the cycle-level out-of-order core model with the
+// selective-flush mechanism of the paper: slice-aware recovery, a linked-
+// list ROB with optional block partitioning, a fetch redirect queue for
+// concurrent in-slice misses, resource reservation for resolve paths, and
+// commit-time reduction execution. SMT (2/4 threads) is supported.
+package core
+
+import (
+	"fmt"
+	"io"
+)
+
+// Config holds the core's structural parameters. DefaultConfig reproduces
+// the paper's Table 1 (Skylake-like Xeon Platinum 8180 core).
+type Config struct {
+	// Widths.
+	FetchWidth    int
+	DispatchWidth int
+	IssueWidth    int
+	CommitWidth   int
+
+	// Window structures (Table 1).
+	ROBSize int
+	RS      int // reservation stations
+	LQ      int // load queue entries
+	SQ      int // store queue entries
+
+	// FrontendDepth is the fetch-to-dispatch latency in cycles; it is
+	// the refill part of the branch misprediction penalty.
+	FrontendDepth int
+
+	// Predictor selects the direction predictor: "tage" (Table 1),
+	// "gshare", "bimodal", "static", or "oracle" (perfect prediction).
+	Predictor string
+	BTBSets   int
+	BTBWays   int
+
+	// SelectiveFlush enables the paper's mechanism. When false the core
+	// recovers every misprediction with a conventional full flush.
+	SelectiveFlush bool
+	// Reserve is the number of RS/LQ/SQ (and ROB) entries reserved for
+	// resolve-path dispatch while in-slice instructions are in flight
+	// (§4.7; Fig. 7 sweeps 1..32, default 8).
+	Reserve int
+	// ROBBlockSize partitions the linked-list ROB into blocks sharing
+	// one pointer (§4.3; Fig. 8 sweeps 1..16). 1 = pure linked list.
+	ROBBlockSize int
+	// FRQSize bounds the fetch redirect queue (§4.6; default 8). When
+	// the queue is full, new in-slice misses recover conventionally.
+	FRQSize int
+
+	// SMT is the number of hardware threads (1, 2, or 4; Fig. 11).
+	SMT int
+
+	// WrongPathMemAccess controls whether wrong-path loads access (and
+	// therefore warm or pollute) the data caches. The shadow wrong-path
+	// engine computes exact addresses from forked register state, which
+	// makes wrong paths unrealistically good prefetchers of the
+	// reconverged future; real speculative hardware loses the values of
+	// in-flight producers. See DESIGN.md for the calibration discussion.
+	WrongPathMemAccess bool
+
+	// StoreFwdLat is the store-to-load forwarding latency.
+	StoreFwdLat int
+	// AtomicExtra is added to atomic read-modify-write execution.
+	AtomicExtra int
+	// BarrierLat is the release overhead of a synchronization barrier.
+	BarrierLat int
+
+	// FrontendQueue bounds the number of in-flight fetched-but-not-
+	// dispatched instructions per thread.
+	FrontendQueue int
+
+	// MaxCycles aborts runaway simulations (0 = no limit).
+	MaxCycles int64
+
+	// Trace, when non-nil, receives one line per pipeline event (fetch,
+	// dispatch, issue, commit, flush, recovery) — the debugging view of
+	// the selective-flush mechanism. Expensive; use with small inputs.
+	Trace io.Writer
+	// TraceLimit stops tracing after this many events (0 = unlimited).
+	TraceLimit int64
+}
+
+// DefaultConfig returns the paper's Table 1 core configuration.
+func DefaultConfig() Config {
+	return Config{
+		FetchWidth:         4,
+		DispatchWidth:      4,
+		IssueWidth:         8,
+		CommitWidth:        4,
+		ROBSize:            224,
+		RS:                 97,
+		LQ:                 72,
+		SQ:                 56,
+		FrontendDepth:      12,
+		Predictor:          "tage",
+		BTBSets:            512,
+		BTBWays:            4,
+		SelectiveFlush:     false,
+		Reserve:            8,
+		ROBBlockSize:       1,
+		FRQSize:            8,
+		SMT:                1,
+		WrongPathMemAccess: false,
+		StoreFwdLat:        5,
+		AtomicExtra:        5,
+		BarrierLat:         20,
+		FrontendQueue:      64,
+		MaxCycles:          0,
+	}
+}
+
+// Validate checks configuration consistency.
+func (c Config) Validate() error {
+	if c.SMT != 1 && c.SMT != 2 && c.SMT != 4 {
+		return fmt.Errorf("core: SMT must be 1, 2, or 4 (got %d)", c.SMT)
+	}
+	if c.ROBSize <= 0 || c.RS <= 0 || c.LQ <= 0 || c.SQ <= 0 {
+		return fmt.Errorf("core: window structures must be positive")
+	}
+	if c.Reserve < 0 || c.Reserve >= c.RS || c.Reserve >= c.LQ || c.Reserve >= c.SQ {
+		return fmt.Errorf("core: Reserve %d out of range", c.Reserve)
+	}
+	if c.FetchWidth <= 0 || c.DispatchWidth <= 0 || c.IssueWidth <= 0 || c.CommitWidth <= 0 {
+		return fmt.Errorf("core: widths must be positive")
+	}
+	if c.ROBBlockSize < 1 {
+		return fmt.Errorf("core: ROBBlockSize must be >= 1")
+	}
+	return nil
+}

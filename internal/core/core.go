@@ -1,0 +1,169 @@
+package core
+
+import (
+	"container/heap"
+	"fmt"
+
+	"repro/internal/cache"
+	"repro/internal/emu"
+	"repro/internal/isa"
+	"repro/internal/rob"
+)
+
+// Core is one out-of-order core instance. Threads (SMT contexts) share the
+// ROB space, reservation stations, load/store queues, and the cache
+// hierarchy; each thread has its own trace machine, predictor, rename
+// table, logical ROB order, and fetch redirect queue.
+type Core struct {
+	cfg  Config
+	id   int
+	hier *cache.Hierarchy
+
+	threads []*thread
+
+	space  *rob.Space
+	rsUsed int
+	lqUsed int
+	sqUsed int
+	// inSliceCount tracks in-slice instructions in the ROB: while
+	// non-zero, resource reservation for resolve paths is active (§4.7).
+	inSliceCount int
+
+	rs        []*uop      // dispatched, waiting to issue (dispatch order)
+	seenMiss  []*missInfo // per-cycle scratch for resolve-dispatch ordering
+	ready_    []*uop      // per-cycle scratch for age-sorted ready instructions
+	longUntil []int64     // completion times of in-flight long-latency loads
+	events    eventHeap
+	pool      []*uop
+	nextID    uint64
+
+	now                int64
+	stats              Stats
+	committedThisCycle int
+	traced             int64
+
+	fetchRR    int
+	dispatchRR int
+	commitRR   int
+}
+
+// NewCore builds a core running the given machines (one per SMT thread).
+func NewCore(id int, cfg Config, hier *cache.Hierarchy, machines []*emu.Machine) (*Core, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if len(machines) != cfg.SMT {
+		return nil, fmt.Errorf("core: %d machines for SMT%d", len(machines), cfg.SMT)
+	}
+	c := &Core{
+		cfg:   cfg,
+		id:    id,
+		hier:  hier,
+		space: rob.NewSpace(cfg.ROBSize, cfg.ROBBlockSize),
+	}
+	for i, m := range machines {
+		c.threads = append(c.threads, newThread(i, c, m))
+	}
+	return c, nil
+}
+
+// Stats returns the core's counters (valid after/while running).
+func (c *Core) Stats() *Stats { return &c.stats }
+
+// Done reports whether every thread has committed its halt.
+func (c *Core) Done() bool {
+	for _, t := range c.threads {
+		if !t.done {
+			return false
+		}
+	}
+	return true
+}
+
+// Threads returns the number of SMT contexts.
+func (c *Core) Threads() int { return len(c.threads) }
+
+// ThreadDone reports whether thread i has finished.
+func (c *Core) ThreadDone(i int) bool { return c.threads[i].done }
+
+// BarrierWaiting reports whether thread i is stalled at a barrier.
+func (c *Core) BarrierWaiting(i int) bool { return c.threads[i].barrierWait }
+
+// ReleaseBarrier lets thread i's pending barrier instruction complete.
+func (c *Core) ReleaseBarrier(i int) {
+	t := c.threads[i]
+	if t.barrierUop != nil {
+		t.barrierUop.barrierOK = true
+	}
+	t.barrierWait = false
+	t.barrierUop = nil
+}
+
+// Cycle advances the core by one clock. Phase order: complete (execute
+// results and branch resolutions), commit, issue, dispatch, fetch — so a
+// result completing this cycle can be committed this cycle, while newly
+// fetched instructions wait at least one cycle per stage.
+func (c *Core) Cycle(now int64) {
+	c.now = now
+	c.committedThisCycle = 0
+
+	c.complete()
+	c.commit()
+	c.issue()
+	c.dispatch()
+	fetchedBefore := c.stats.FetchNormal + c.stats.FetchWrong + c.stats.FetchResolve
+	c.fetch()
+	if c.stats.FetchNormal+c.stats.FetchWrong+c.stats.FetchResolve == fetchedBefore {
+		c.stats.FetchIdle++
+	}
+
+	if debugChecks {
+		c.checkInvariants()
+	}
+	c.accountCycle()
+	c.stats.Cycles = now
+	c.stats.ROBOccupancySum += uint64(c.space.Used())
+	live := c.longUntil[:0]
+	for _, at := range c.longUntil {
+		if at > now {
+			live = append(live, at)
+		}
+	}
+	c.longUntil = live
+	c.stats.OutstandingSum += uint64(len(live))
+}
+
+// complete retires execution events due at or before now and performs
+// branch recovery for resolved mispredictions.
+func (c *Core) complete() {
+	for len(c.events) > 0 && c.events[0].at <= c.now {
+		ev := heap.Pop(&c.events).(event)
+		u := ev.u
+		if u.id != ev.id || u.state != stIssued {
+			continue // stale event for a flushed/recycled uop
+		}
+		u.state = stDone
+		u.doneAt = ev.at
+		if u.d.IsBranch() && !u.d.Wrong {
+			c.resolveBranch(u)
+		}
+	}
+}
+
+// classPorts caps per-class issue bandwidth (a simplified Skylake port
+// map: 4 ALU ports, 2 load, 1 store-address, 2 branch-capable, one
+// divider).
+var classPorts = map[isa.Class]int{
+	isa.ClassIntAlu:  4,
+	isa.ClassIntMul:  2,
+	isa.ClassIntDiv:  1,
+	isa.ClassFp:      2,
+	isa.ClassFpDiv:   1,
+	isa.ClassLoad:    2,
+	isa.ClassStore:   1,
+	isa.ClassAtomic:  1,
+	isa.ClassBranch:  2,
+	isa.ClassNop:     4,
+	isa.ClassBarrier: 1,
+	isa.ClassHalt:    4,
+}

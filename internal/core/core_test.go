@@ -1,0 +1,132 @@
+package core
+
+import (
+	"container/heap"
+	"testing"
+
+	"repro/internal/emu"
+)
+
+func TestConfigValidate(t *testing.T) {
+	good := DefaultConfig()
+	if err := good.Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+	bad := []func(*Config){
+		func(c *Config) { c.SMT = 3 },
+		func(c *Config) { c.ROBSize = 0 },
+		func(c *Config) { c.Reserve = -1 },
+		func(c *Config) { c.Reserve = c.SQ },
+		func(c *Config) { c.FetchWidth = 0 },
+		func(c *Config) { c.ROBBlockSize = 0 },
+	}
+	for i, mut := range bad {
+		c := DefaultConfig()
+		mut(&c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+}
+
+func TestStatsDerived(t *testing.T) {
+	s := Stats{Cycles: 100, Committed: 250, Branches: 50, Mispredicts: 5}
+	if s.IPC() != 2.5 {
+		t.Fatalf("IPC %f", s.IPC())
+	}
+	if s.MispredictRate() != 0.1 {
+		t.Fatalf("rate %f", s.MispredictRate())
+	}
+	if s.MPKI() != 20 {
+		t.Fatalf("MPKI %f", s.MPKI())
+	}
+	var z Stats
+	if z.IPC() != 0 || z.MispredictRate() != 0 || z.MPKI() != 0 {
+		t.Fatal("zero stats should not divide by zero")
+	}
+}
+
+func TestStatsAdd(t *testing.T) {
+	a := Stats{Cycles: 10, Committed: 5, FRQPeak: 2, StackMem: 1}
+	b := Stats{Cycles: 20, Committed: 7, FRQPeak: 1, StackMem: 2}
+	a.Add(&b)
+	if a.Cycles != 20 { // max, not sum: cores run concurrently
+		t.Fatalf("cycles %d", a.Cycles)
+	}
+	if a.Committed != 12 || a.FRQPeak != 2 || a.StackMem != 3 {
+		t.Fatalf("aggregate wrong: %+v", a)
+	}
+}
+
+func TestEventHeapOrder(t *testing.T) {
+	var h eventHeap
+	for _, at := range []int64{5, 1, 9, 3} {
+		heap.Push(&h, event{at: at})
+	}
+	prev := int64(-1)
+	for h.Len() > 0 {
+		e := heap.Pop(&h).(event)
+		if e.at < prev {
+			t.Fatalf("heap out of order: %d after %d", e.at, prev)
+		}
+		prev = e.at
+	}
+}
+
+func TestDepRefStaleness(t *testing.T) {
+	c := &Core{}
+	u := c.newUop(emu.DynInst{}, nil)
+	ref := makeRef(u)
+	u.state = stWaiting
+	if ref.ready(0) {
+		t.Fatal("waiting producer reported ready")
+	}
+	u.state = stDone
+	u.doneAt = 10
+	if ref.ready(5) {
+		t.Fatal("ready before doneAt")
+	}
+	if !ref.ready(10) {
+		t.Fatal("not ready at doneAt")
+	}
+	// Recycle the uop: the stale reference must read as ready.
+	u.state = stCommitted
+	c.freeUop(u)
+	u2 := c.newUop(emu.DynInst{}, nil)
+	u2.state = stWaiting
+	if u2 != u {
+		t.Fatal("pool did not recycle")
+	}
+	if !ref.ready(0) {
+		t.Fatal("stale reference to recycled uop not treated as ready")
+	}
+}
+
+func TestUopPoolResets(t *testing.T) {
+	c := &Core{}
+	u := c.newUop(emu.DynInst{Seq: 7}, nil)
+	u.mispred = true
+	u.tombstone = true
+	u.ndeps = 3
+	id := u.id
+	c.freeUop(u)
+	u2 := c.newUop(emu.DynInst{Seq: 9}, nil)
+	if u2.mispred || u2.tombstone || u2.ndeps != 0 {
+		t.Fatal("pooled uop state leaked")
+	}
+	if u2.id == id {
+		t.Fatal("recycled uop kept its id")
+	}
+	if u2.node.Val != u2 {
+		t.Fatal("node back-pointer not reset")
+	}
+}
+
+func TestClassPortsCoverage(t *testing.T) {
+	// Every class the issue stage can see must have a port budget.
+	for cl, cap := range classPorts {
+		if cap <= 0 {
+			t.Errorf("class %v has no ports", cl)
+		}
+	}
+}

@@ -1,0 +1,377 @@
+package core
+
+import "repro/internal/isa"
+
+// dispatch renames and inserts fetched instructions into the window, up to
+// DispatchWidth per cycle, round-robin across SMT threads.
+//
+// Each thread has two frontend queues: the regular stream (frontend) and
+// the resolve-path stream (resolveFE), which carries correct paths being
+// spliced after selective flushes. The resolve stream has dispatch
+// priority — it is the commit-critical path, and in the paper's hardware
+// regular fetch is parked at the regular-fetch checkpoint while the
+// resolved path flows through the pipeline. Within the resolve stream,
+// the program-order-oldest hole's instructions are privileged: only they
+// may consume the reserved RS/LQ/SQ/ROB entries (§4.7), which is what
+// makes the reservation deadlock-free.
+func (c *Core) dispatch() {
+	slots := c.cfg.DispatchWidth
+	for slots > 0 {
+		progressed := false
+		for i := 0; i < len(c.threads) && slots > 0; i++ {
+			t := c.threads[(c.dispatchRR+i)%len(c.threads)]
+			oldest := t.oldestHoleSeq()
+			if c.dispatchResolve(t, oldest) {
+				slots--
+				progressed = true
+				continue
+			}
+			if c.dispatchRegular(t, oldest) {
+				slots--
+				progressed = true
+			}
+		}
+		if !progressed {
+			break
+		}
+	}
+	c.dispatchRR++
+}
+
+// dispatchResolve dispatches one resolve-path instruction. All resolve
+// paths share the reserved resources (§4.7 reserves them "for resolving
+// correct paths"); instructions of one miss dispatch in segment order,
+// but distinct misses' segments may interleave, so multiple holes drain
+// concurrently. The oldest hole additionally may take the very last
+// entry, which is the §4.7 deadlock-freedom guarantee.
+func (c *Core) dispatchResolve(t *thread, oldestHole uint64) bool {
+	// Collect the first queued instruction of each miss (segment order
+	// within a miss), then dispatch oldest-miss-first: the oldest hole
+	// is the commit-critical path and gets the dispatch bandwidth;
+	// younger holes fill spare slots.
+	c.seenMiss = c.seenMiss[:0]
+	type cand struct {
+		u *uop
+		k int
+	}
+	var cands []cand
+	for k, u := range t.resolveFE {
+		if u.readyFE > c.now {
+			break // fetch order implies readyFE order
+		}
+		seen := false
+		for _, mi := range c.seenMiss {
+			if mi == u.resolveOf {
+				seen = true
+				break
+			}
+		}
+		if seen {
+			continue
+		}
+		c.seenMiss = append(c.seenMiss, u.resolveOf)
+		cands = append(cands, cand{u, k})
+	}
+	for len(cands) > 0 {
+		best := 0
+		for i := 1; i < len(cands); i++ {
+			if cands[i].u.resolveOf.branchSeq < cands[best].u.resolveOf.branchSeq {
+				best = i
+			}
+		}
+		if c.tryDispatch(t, cands[best].u, oldestHole) {
+			k := cands[best].k
+			t.resolveFE = append(t.resolveFE[:k], t.resolveFE[k+1:]...)
+			return true
+		}
+		cands = append(cands[:best], cands[best+1:]...)
+	}
+	return false
+}
+
+// dispatchRegular dispatches the head of the regular frontend queue.
+func (c *Core) dispatchRegular(t *thread, oldestHole uint64) bool {
+	if len(t.frontend) == 0 {
+		return false
+	}
+	u := t.frontend[0]
+	if u.readyFE > c.now {
+		return false
+	}
+	if !c.tryDispatch(t, u, oldestHole) {
+		return false
+	}
+	t.frontend = t.frontend[1:]
+	return true
+}
+
+// resourceNeeds returns which queues the uop occupies.
+func resourceNeeds(op isa.Op) (lq, sq bool) {
+	switch {
+	case op.IsLoad():
+		return true, false
+	case op.IsStore():
+		return false, true
+	case op.IsAtomic():
+		return true, true
+	}
+	return false, false
+}
+
+// privileged reports whether u may use the reserved resources: it is a
+// resolve-path instruction of the program-order-oldest unfinished hole
+// (no older hole exists, resolved or pending). Hot paths cache
+// t.oldestHoleSeq() and compare inline; this helper serves tryDispatch
+// and diagnostics.
+func (c *Core) privileged(t *thread, u *uop) bool {
+	if !u.resolvePath {
+		return false
+	}
+	return u.resolveOf.branchSeq <= t.oldestHoleSeq()
+}
+
+// tryDispatch attempts to rename and insert u. It returns false when
+// resources are unavailable (the caller retries later); marker
+// instructions always succeed (they are discarded at dispatch, consuming
+// only the slot).
+func (c *Core) tryDispatch(t *thread, u *uop, oldestHole uint64) bool {
+	op := u.d.Inst.Op
+
+	// Slice markers take a dispatch slot and vanish (Fig. 6 overhead).
+	if op.IsSlice() || op == isa.Nop {
+		if u.d.Wrong {
+			c.stats.DispWrong++
+		} else {
+			c.stats.DispOverhead++
+		}
+		if u.resolvePath {
+			mi := u.resolveOf
+			c.noteResolveDispatched(mi)
+			if mi.segDispatched && mi.insertPos != nil {
+				prev := mi.insertPos.Val
+				prev.spliceHold = nil
+				if prev.tombstone {
+					t.list.Remove(&prev.node)
+					c.freeUop(prev)
+				}
+			}
+		}
+		c.freeUop(u)
+		return true
+	}
+
+	// Resource admission tiers (§4.7): regular fetch keeps Reserve
+	// entries of each resource free for resolve paths; resolve paths
+	// share those but keep one entry free for the oldest hole, whose
+	// path drains straight into commit — "reserving a single resource
+	// of each suffices to prevent deadlocks".
+	// The reservation is active while in-slice instructions are in the
+	// ROB or any hole (resolved or pending miss) exists: segments still
+	// to be spliced will need the reserved entries even after a fence
+	// let post-region code proceed.
+	active := c.cfg.SelectiveFlush &&
+		(c.inSliceCount > 0 || t.pendingMisses > 0 || oldestHole != ^uint64(0))
+	reserve := 0
+	if active && !u.resolvePath {
+		reserve = c.cfg.Reserve
+	} else if u.resolvePath && u.resolveOf.branchSeq > oldestHole {
+		reserve = nonOldestReserve(c.cfg.Reserve)
+	}
+	needLQ, needSQ := resourceNeeds(op)
+	if c.space.Free() <= reserve {
+		return false
+	}
+	if c.rsUsed >= c.cfg.RS-reserve {
+		return false
+	}
+	if needLQ && c.lqUsed >= c.cfg.LQ-reserve {
+		return false
+	}
+	if needSQ && c.sqUsed >= c.cfg.SQ-reserve {
+		return false
+	}
+
+	// Allocate.
+	if !c.space.Alloc() {
+		return false
+	}
+	c.rsUsed++
+	if needLQ {
+		c.lqUsed++
+	}
+	if needSQ {
+		c.sqUsed++
+	}
+
+	// Rename: resolve-path instructions use the segment's private table
+	// seeded from the branch checkpoint (CP1); everything else uses the
+	// thread's live table.
+	tbl := &t.rt
+	if u.resolvePath {
+		mi := u.resolveOf
+		if mi.rtbl == nil {
+			mi.rtbl = &renameTable{}
+			mi.rtbl.Restore(mi.ck)
+		}
+		tbl = mi.rtbl
+	}
+	c.renameDeps(t, u, tbl)
+
+	// Branches known to be mispredicted checkpoint the rename table for
+	// recovery (CP1 / conventional restore point). Nested misses inside
+	// a resolve path checkpoint the segment's private table.
+	if u.mispred {
+		switch {
+		case u.miss != nil:
+			u.miss.ck = tbl.Checkpoint()
+			u.miss.ckValid = true
+		case !u.resolvePath:
+			ck := t.rt.Checkpoint()
+			u.ck = &ck
+		}
+	}
+
+	// Insert into the logical-order linked ROB, advancing the splice
+	// cursor (and its commit boundary) to the newly inserted entry; a
+	// cursor that already retired into a tombstone is unlinked now.
+	if u.resolvePath {
+		mi := u.resolveOf
+		if mi.insertPos == nil {
+			mi.insertPos = &mi.branch.node
+		}
+		t.list.InsertAfter(mi.insertPos, &u.node)
+		prev := mi.insertPos.Val
+		prev.spliceHold = nil
+		if prev.tombstone {
+			t.list.Remove(&prev.node)
+			c.freeUop(prev)
+		}
+		mi.insertPos = &u.node
+		u.spliceHold = mi
+		c.noteResolveDispatched(mi)
+		if mi.segDispatched {
+			u.spliceHold = nil
+		}
+	} else {
+		t.list.PushBack(&u.node)
+	}
+
+	if u.wpOf != nil {
+		u.wpOf.wp = append(u.wpOf.wp, u)
+	}
+	if u.d.InSlice && !u.d.Wrong {
+		c.inSliceCount++
+	}
+
+	u.state = stWaiting
+	c.rs = append(c.rs, u)
+	c.trace("DISPATCH    t%d %s", t.id, traceUop(u))
+	t.inflight++
+	if op.IsStore() && !u.d.Wrong {
+		t.stores = append(t.stores, u)
+	}
+	if u.d.Wrong {
+		c.stats.DispWrong++
+	} else {
+		c.stats.DispCorrect++
+	}
+	return true
+}
+
+// nonOldestReserve is how many entries a non-oldest resolve path must
+// leave free. The default (negative) tracks the configured Reserve: only
+// the oldest hole's path consumes reserved entries, which measured best —
+// younger holes' instructions otherwise crowd the commit-critical path
+// (see DESIGN.md). SetNonOldestReserve lowers the floor for the ablation
+// bench; at least 1 entry always stays free for the oldest hole (§4.7).
+var nonOldestReserveN = -1
+
+func nonOldestReserve(configured int) int {
+	if nonOldestReserveN < 0 {
+		return configured
+	}
+	return nonOldestReserveN
+}
+
+// SetNonOldestReserve tunes the non-oldest resolve-path floor (ablation);
+// negative restores the default (track the configured Reserve).
+func SetNonOldestReserve(n int) {
+	if n == 0 {
+		n = 1
+	}
+	nonOldestReserveN = n
+}
+
+// noteResolveDispatched advances the segment-dispatch counter of a miss.
+func (c *Core) noteResolveDispatched(mi *missInfo) {
+	mi.dispatched++
+	if mi.dispatched >= len(mi.seg) {
+		mi.segDispatched = true
+	}
+}
+
+// renameDeps records the uop's operand producers from the rename table and
+// registers the uop as producer of its destination.
+func (c *Core) renameDeps(t *thread, u *uop, tbl *renameTable) {
+	in := u.d.Inst
+	add := func(r isa.Reg) {
+		if r == isa.R0 {
+			return
+		}
+		ref := tbl.Producer(r)
+		if ref.u != nil && u.ndeps < len(u.deps) {
+			u.deps[u.ndeps] = ref
+			u.ndeps++
+		}
+	}
+	add(in.Src1)
+	if in.Op != isa.Li && in.Op != isa.Mov && in.Op != isa.FAbs &&
+		in.Op != isa.CvtIF && in.Op != isa.CvtFI {
+		add(in.Src2)
+	}
+	if in.Op.IsStore() || in.Op.IsAtomic() {
+		add(in.Val)
+	}
+
+	// Load-store forwarding: depend on the youngest older in-flight
+	// store that overlaps this load's address.
+	if (in.Op.IsLoad() || in.Op.IsAtomic()) && !u.d.Wrong {
+		if s := t.youngestOlderStore(u); s != nil {
+			u.fwdStore = makeRef(s)
+			if u.ndeps < len(u.deps) {
+				u.deps[u.ndeps] = u.fwdStore
+				u.ndeps++
+			}
+		}
+	}
+
+	// Reduction updates are not renamed (§4.5): they read and write
+	// architectural registers at the head of the ROB.
+	if in.Op.HasDst() && !u.reduce {
+		tbl.SetProducer(in.Dst, makeRef(u))
+	}
+}
+
+// youngestOlderStore finds the in-flight store this load would forward
+// from, by program order (Seq) and address overlap.
+func (t *thread) youngestOlderStore(u *uop) *uop {
+	lo := u.d.Addr
+	hi := lo + uint64(u.d.Inst.Op.MemSize())
+	var best *uop
+	for _, s := range t.stores {
+		if s.state == stCommitted || s.state == stFlushed {
+			continue
+		}
+		if s.d.Seq >= u.d.Seq {
+			continue
+		}
+		sLo := s.d.Addr
+		sHi := sLo + uint64(s.d.Inst.Op.MemSize())
+		if sLo < hi && lo < sHi {
+			if best == nil || s.d.Seq > best.d.Seq {
+				best = s
+			}
+		}
+	}
+	return best
+}

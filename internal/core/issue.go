@@ -1,0 +1,120 @@
+package core
+
+import (
+	"sort"
+
+	"repro/internal/isa"
+)
+
+// issue selects ready instructions from the reservation stations,
+// oldest-first by logical age (the standard age-based select), bounded by
+// IssueWidth and per-class port capacity, and computes their completion
+// times. Age priority matters for the selective-flush mechanism: the
+// resolved correct path of an old hole is the commit-critical work, and
+// must win ports and MSHRs over logically younger slices dispatched
+// earlier.
+func (c *Core) issue() {
+	live := c.rs[:0]
+	ready := c.ready_[:0]
+	for _, u := range c.rs {
+		if u.state != stWaiting {
+			continue // issued, flushed: drop from RS view
+		}
+		live = append(live, u)
+		if c.ready(u) {
+			ready = append(ready, u)
+		}
+	}
+	c.rs = live
+	sort.Slice(ready, func(i, j int) bool { return ready[i].age < ready[j].age })
+
+	budget := c.cfg.IssueWidth
+	var ports [16]int
+	for _, u := range ready {
+		if budget == 0 {
+			break
+		}
+		cl := u.d.Inst.Op.Class()
+		if ports[cl] >= classPorts[cl] {
+			continue
+		}
+		ports[cl]++
+		budget--
+		c.issueOne(u)
+	}
+	c.ready_ = ready[:0]
+}
+
+// ready reports whether all of u's operands are available and any
+// execution-ordering constraint is met.
+func (c *Core) ready(u *uop) bool {
+	for i := 0; i < u.ndeps; i++ {
+		if !u.deps[i].ready(c.now) {
+			return false
+		}
+	}
+	// Reduction updates execute only at the head of the ROB (§4.5),
+	// like atomics in conventional cores.
+	if u.reduce {
+		h := u.t.list.Head()
+		if h == nil || h.Val != u {
+			return false
+		}
+	}
+	// Barriers wait for the simulator-level release.
+	if u.d.Inst.Op == isa.Barrier && !u.barrierOK {
+		return false
+	}
+	return true
+}
+
+// issueOne starts execution of u and schedules its completion.
+func (c *Core) issueOne(u *uop) {
+	u.state = stIssued
+	u.issueCycle = c.now
+	c.rsUsed--
+
+	op := u.d.Inst.Op
+	var done int64
+	switch {
+	case op.IsLoad():
+		done = c.loadDone(u)
+		if done-c.now > 100 {
+			c.stats.LongLoads++
+			c.longUntil = append(c.longUntil, done)
+		}
+	case op.IsAtomic():
+		done = c.loadDone(u) + int64(c.cfg.AtomicExtra)
+	case op.IsStore():
+		// Stores are "done" once their address and data are ready;
+		// memory is updated at commit.
+		done = c.now + 1
+	case op == isa.Barrier:
+		done = c.now + int64(c.cfg.BarrierLat)
+	default:
+		done = c.now + int64(op.Class().Latency())
+	}
+	c.schedule(u, done)
+}
+
+// loadDone computes when a load's data arrives: store forwarding when an
+// older overlapping store is in flight, otherwise a cache access. Wrong-
+// path loads touch the cache too (pollution and prefetching effects,
+// §6.1), except out-of-bounds wrong-path addresses.
+func (c *Core) loadDone(u *uop) int64 {
+	if u.fwdStore.u != nil && u.fwdStore.u.id == u.fwdStore.id {
+		s := u.fwdStore.u
+		if s.state == stWaiting || s.state == stIssued || s.state == stDone {
+			return c.now + int64(c.cfg.StoreFwdLat)
+		}
+	}
+	if u.d.MemOOB {
+		return c.now + int64(c.hier.L1D.Config().HitLatency)
+	}
+	if u.d.Wrong && !c.cfg.WrongPathMemAccess {
+		// Wrong-path loads occupy resources and take a mid-hierarchy
+		// latency, but neither warm nor pollute the caches.
+		return c.now + int64(c.hier.L2.Config().HitLatency)
+	}
+	return c.hier.Data(u.d.Addr, uint64(u.d.PC), c.now, false)
+}

@@ -1,0 +1,282 @@
+package core
+
+// resolveBranch handles execution-time resolution of a correct-path
+// conditional branch: predictor training, and — for mispredictions —
+// either the selective flush of §4.2 or a conventional full flush.
+func (c *Core) resolveBranch(u *uop) {
+	t := u.t
+
+	if !u.mispred {
+		t.pred.Resolve(u.pred, uint64(u.d.PC), u.d.Taken, true)
+		return
+	}
+
+	switch {
+	case u.miss != nil && !u.miss.cancelled:
+		// In-slice miss — including nested misses detected inside a
+		// resolve path, which recurse through the same mechanism.
+		c.resolveSelective(t, u)
+	case u.resolvePath:
+		// Nested miss handled by the stall fallback (FRQ was full at
+		// detection): the rest of the segment is the correct path;
+		// fetch resumes from it after a redirect bubble.
+		t.pred.Resolve(u.pred, uint64(u.d.PC), u.d.Taken, false)
+		if u.resolveOf != nil && u.resolveOf.stall == u {
+			u.resolveOf.stall = nil
+		}
+		t.fetchStallUntil = maxi64(t.fetchStallUntil, c.now+1)
+	default:
+		c.resolveConventional(t, u)
+	}
+}
+
+func maxi64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// resolveSelective performs the §4.2 recovery: flush only the wrong-path
+// instructions of the slice, push the miss onto the FRQ, and let fetch
+// splice the buffered correct path into the linked ROB.
+func (c *Core) resolveSelective(t *thread, u *uop) {
+	mi := u.miss
+
+	// Detection-time gating (fetchNormal) bounds concurrent selective
+	// recoveries to the FRQ capacity, so the push cannot fail.
+	if !t.fq.Push(mi) {
+		panic("core: FRQ overflow despite detection-time gating")
+	}
+	if t.fq.Peak() > c.stats.FRQPeak {
+		c.stats.FRQPeak = t.fq.Peak()
+	}
+
+	t.pred.Resolve(u.pred, uint64(u.d.PC), u.d.Taken, false)
+	c.stats.SliceRecoveries++
+	c.trace("RECOVER-SEL t%d %s seg=%d", t.id, traceUop(u), len(mi.seg))
+	mi.resolved = true
+	if len(mi.seg) == 0 {
+		mi.segDispatched = true
+	} else {
+		// The branch entry is the initial splice cursor: the first
+		// resolved-path instruction is inserted right after it.
+		mi.insertPos = &u.node
+		u.spliceHold = mi
+	}
+
+	// Selectively flush this miss's wrong-path instructions: dispatched
+	// ones unlink from the ROB, frontend ones drop.
+	dispFlushed := 0
+	for _, w := range mi.wp {
+		if w.state == stFlushed || w.state == stCommitted {
+			continue
+		}
+		c.flushUop(t, w)
+		dispFlushed++
+	}
+	mi.wp = mi.wp[:0]
+	feFlushed := 0
+	fe := t.frontend[:0]
+	for _, w := range t.frontend {
+		if w.wpOf == mi {
+			c.freeUop(w)
+			feFlushed++
+			continue
+		}
+		fe = append(fe, w)
+	}
+	t.frontend = fe
+	mi.flushLen = dispFlushed
+	c.stats.FlushedSelective += uint64(dispFlushed + feFlushed)
+
+	// Wrong-path fetch for this miss still in progress: it dies here
+	// (the shadow's remaining instructions were never fetched).
+	if t.shadowMiss == mi {
+		t.shadow = nil
+		t.shadowMiss = nil
+		t.mode = fmNormal
+		t.wpStuck = false
+	}
+
+	// Block-partitioned ROB: stranded entries from the flush and the
+	// upcoming splice (§4.3, Fig. 3), reclaimed when the region retires.
+	if c.space.BlockSize() > 1 {
+		segReal := 0
+		for _, d := range mi.seg {
+			if !d.Inst.Op.IsSlice() {
+				segReal++
+			}
+		}
+		release := u.d.Seq
+		if n := len(mi.seg); n > 0 {
+			release = mi.seg[n-1].Seq
+		}
+		g := c.space.FlushGaps(dispFlushed, segReal, release, c.cfg.Reserve+1)
+		c.stats.GapsCreated += uint64(g)
+	}
+
+	t.pendingMisses--
+	if t.pendingMisses == 0 {
+		t.fenceStall = false
+	}
+
+	t.holes = append(t.holes, mi)
+
+	// Fetch turns to the oldest pending miss (this one, unless an even
+	// older hole is still resolving) after a one-cycle redirect bubble.
+	t.startNextResolve()
+	t.fetchStallUntil = maxi64(t.fetchStallUntil, c.now+1)
+}
+
+// resolveConventional performs the classic full flush for a mispredicted
+// branch outside any slice (or with selective flush disabled).
+func (c *Core) resolveConventional(t *thread, u *uop) {
+	t.pred.Resolve(u.pred, uint64(u.d.PC), u.d.Taken, true)
+	c.conventionalFlush(t, u)
+}
+
+// conventionalFlush removes everything logically younger than branch u,
+// cancels pending misses belonging to the flushed region, restores the
+// rename checkpoint, and resets the fetch state machine to the correct
+// path (the trace cursor, which stopped right after the branch).
+func (c *Core) conventionalFlush(t *thread, u *uop) {
+	c.stats.ConvRecoveries++
+	c.trace("RECOVER-ALL t%d %s", t.id, traceUop(u))
+
+	// 1. Flush dispatched younger instructions (linked-list order is
+	// logical order, so resolve-path instructions of older misses —
+	// spliced before u — survive).
+	victims := t.list.RemoveRangeAfter(&u.node)
+	for _, n := range victims {
+		c.releaseFlushed(t, n.Val)
+	}
+	c.stats.FlushedFull += uint64(len(victims))
+
+	// 2. Flush the frontend: wrong-path uops, regular uops younger than
+	// the branch, and resolve-path uops of cancelled misses. Resolve-
+	// path uops of older misses survive.
+	branchSeq := u.d.Seq
+	fe := t.frontend[:0]
+	for _, w := range t.frontend {
+		drop := false
+		switch {
+		case w.d.Wrong:
+			drop = true
+		case w.resolvePath:
+			drop = w.resolveOf.branchSeq > branchSeq || w.resolveOf.cancelled
+		default:
+			drop = w.d.Seq > branchSeq
+		}
+		if drop {
+			if w.miss != nil && !w.miss.resolved && !w.miss.cancelled {
+				// A younger in-slice miss detected in the frontend:
+				// cancel it with its branch.
+				w.miss.cancelled = true
+				t.pendingMisses--
+			}
+			c.freeUop(w)
+			continue
+		}
+		fe = append(fe, w)
+	}
+	t.frontend = fe
+	rfe := t.resolveFE[:0]
+	for _, w := range t.resolveFE {
+		if w.resolveOf.branchSeq > branchSeq || w.resolveOf.cancelled {
+			if w.miss != nil && !w.miss.resolved && !w.miss.cancelled {
+				w.miss.cancelled = true
+				t.pendingMisses--
+			}
+			c.freeUop(w)
+			continue
+		}
+		rfe = append(rfe, w)
+	}
+	t.resolveFE = rfe
+
+	// 3. Cancel pending misses whose branch was flushed, then squash
+	// them from the FRQ. (The cancel flag is authoritative: the branch
+	// uop pointer must not be consulted after it can be recycled.)
+	for _, n := range victims {
+		v := n.Val
+		if v.miss != nil && !v.miss.cancelled {
+			if !v.miss.resolved {
+				t.pendingMisses--
+			}
+			v.miss.cancelled = true
+		}
+		c.freeUop(v)
+	}
+	t.fq.Squash(func(mi *missInfo) bool { return mi.cancelled })
+	if t.pendingMisses == 0 {
+		t.fenceStall = false
+	}
+	t.startNextResolve()
+
+	// 4. Rename table back to the branch checkpoint. References to
+	// flushed or recycled producers resolve as ready automatically.
+	if u.ck != nil {
+		t.rt.Restore(*u.ck)
+		u.ck = nil
+	} else if u.miss != nil && u.miss.ckValid {
+		t.rt.Restore(u.miss.ck)
+	}
+
+	// 5. Reset fetch to the trace. The machine's cursor stopped at the
+	// branch's correct-path successor when the miss was detected
+	// (conventional misses always divert fetch to the shadow), so
+	// regular fetch resumes exactly on the correct path.
+	t.shadow = nil
+	t.shadowMiss = nil
+	t.convMiss = nil
+	t.wpStuck = false
+	t.mode = fmNormal
+	if c.space.BlockSize() > 1 {
+		c.space.ReleaseAllGaps()
+	}
+	t.redirectUntil = c.now + 1 + int64(c.cfg.FrontendDepth)
+	t.fetchStallUntil = maxi64(t.fetchStallUntil, c.now+1)
+	t.lastILine = -1
+}
+
+// flushUop removes one dispatched uop from the window (selective flush).
+func (c *Core) flushUop(t *thread, w *uop) {
+	if w.node.InList() {
+		t.list.Remove(&w.node)
+	}
+	c.releaseFlushed(t, w)
+	c.freeUop(w)
+}
+
+// releaseFlushed returns a flushed uop's resources.
+func (c *Core) releaseFlushed(t *thread, w *uop) {
+	if w.tombstone {
+		// Tombstones are committed cursors at or before the commit
+		// frontier; no flush can reach them.
+		panic("core: flushing a tombstone cursor")
+	}
+	if w.state == stWaiting {
+		c.rsUsed--
+	}
+	w.state = stFlushed
+	c.space.Release()
+	needLQ, needSQ := resourceNeeds(w.d.Inst.Op)
+	if needLQ {
+		c.lqUsed--
+	}
+	if needSQ {
+		c.sqUsed--
+	}
+	if w.d.InSlice && !w.d.Wrong {
+		c.inSliceCount--
+	}
+	t.inflight--
+	if w.d.Inst.Op.IsStore() && !w.d.Wrong {
+		t.removeStore(w)
+	}
+	if w.barrierOK || t.barrierUop == w {
+		t.barrierUop = nil
+		t.barrierWait = false
+	}
+}

@@ -1,0 +1,32 @@
+package core
+
+import "fmt"
+
+// trace emits one pipeline event line when tracing is enabled.
+func (c *Core) trace(format string, args ...any) {
+	if c.cfg.Trace == nil {
+		return
+	}
+	if c.cfg.TraceLimit > 0 && c.traced >= c.cfg.TraceLimit {
+		return
+	}
+	c.traced++
+	fmt.Fprintf(c.cfg.Trace, "%8d  ", c.now)
+	fmt.Fprintf(c.cfg.Trace, format, args...)
+	fmt.Fprintln(c.cfg.Trace)
+}
+
+// traceUop formats a uop compactly for event lines.
+func traceUop(u *uop) string {
+	tag := ""
+	if u.d.Wrong {
+		tag = " WP"
+	}
+	if u.resolvePath {
+		tag += " RP"
+	}
+	if u.d.InSlice {
+		tag += fmt.Sprintf(" s%d", u.d.SliceID)
+	}
+	return fmt.Sprintf("#%-7d @%-4d %v%s", u.d.Seq, u.d.PC, u.d.Inst.Op, tag)
+}

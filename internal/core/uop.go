@@ -1,0 +1,217 @@
+package core
+
+import (
+	"container/heap"
+
+	"repro/internal/bpred"
+	"repro/internal/emu"
+	"repro/internal/rename"
+	"repro/internal/rob"
+)
+
+// uopState tracks a micro-op through the pipeline.
+type uopState uint8
+
+const (
+	stFrontend uopState = iota // fetched, waiting to dispatch
+	stWaiting                  // dispatched, in RS, waiting for operands
+	stIssued                   // executing
+	stDone                     // result available at doneAt
+	stCommitted
+	stFlushed
+)
+
+// uop is one in-flight micro-op. uops are pooled; id disambiguates
+// recycled objects (see depRef).
+type uop struct {
+	id uint64
+	d  emu.DynInst
+	t  *thread
+
+	node  rob.Node[*uop]
+	state uopState
+
+	// Dependences: producers of the source registers plus, for loads,
+	// the store being forwarded from.
+	deps  [4]depRef
+	ndeps int
+
+	readyFE    int64 // cycle the uop may leave the frontend
+	doneAt     int64
+	issueCycle int64
+	// age is the logical-age key for oldest-first issue selection:
+	// the program-order sequence for correct-path uops, and the
+	// mispredicted branch's sequence for its wrong-path uops.
+	age uint64
+
+	// Branch bookkeeping.
+	pred      bpred.Pred
+	predTaken bool
+	mispred   bool
+	miss      *missInfo
+
+	// fwdStore is the store this load forwards from, when any.
+	fwdStore depRef
+
+	// resolvePath marks correct-path instructions fetched to resolve an
+	// in-slice miss; they may use reserved resources (§4.7).
+	resolvePath bool
+	reduce      bool
+	// wpOf links a wrong-path uop to the in-slice miss it belongs to
+	// (nil for conventional wrong paths).
+	wpOf *missInfo
+	// resolveOf links a resolve-path uop to the miss whose correct path
+	// it restores.
+	resolveOf *missInfo
+	// spliceHold marks this uop as the current splice cursor of a miss
+	// whose resolved path has not fully entered the ROB: it must not
+	// commit (and be unlinked) while later resolve-path instructions
+	// still need to be inserted after it.
+	spliceHold *missInfo
+	// ck is the rename checkpoint taken at dispatch of a branch known
+	// to be mispredicted (conventional recovery restores it).
+	ck *renameSnapshot
+	// barrierOK is set when the simulator releases this barrier uop.
+	barrierOK bool
+	// tombstone marks a splice cursor that has retired (resources
+	// freed, stats counted) but stays linked as the order boundary
+	// until the next resolve-path instruction is spliced after it.
+	tombstone bool
+}
+
+// depRef is a validity-checked reference to a producing uop: if the uop
+// was recycled (id mismatch) or has produced its result, the dependence is
+// satisfied.
+type depRef struct {
+	u  *uop
+	id uint64
+}
+
+func (r depRef) ready(now int64) bool {
+	if r.u == nil || r.u.id != r.id {
+		return true
+	}
+	switch r.u.state {
+	case stDone, stCommitted:
+		return r.u.doneAt <= now
+	case stFlushed:
+		return true
+	}
+	return false
+}
+
+// renameRef is the rename-table entry type.
+type renameRef = depRef
+
+// renameSnapshot aliases the rename checkpoint type.
+type renameSnapshot = rename.Snapshot[renameRef]
+
+// renameTable aliases the rename table type.
+type renameTable = rename.Table[renameRef]
+
+func makeRef(u *uop) renameRef {
+	if u == nil {
+		return renameRef{}
+	}
+	return renameRef{u: u, id: u.id}
+}
+
+// missInfo describes one pending in-slice branch miss: everything a fetch
+// redirect queue entry carries (§4.6) plus the correct-path segment
+// buffered by the trace frontend.
+type missInfo struct {
+	branch *uop
+	// branchSeq snapshots the branch's program-order position: the
+	// branch uop itself is pooled and may be recycled once it commits,
+	// so ordering decisions must never read through the pointer.
+	branchSeq uint64
+	// seg is the correct-path remainder of the slice (including the
+	// closing slice_end marker), executed functionally at detection
+	// time and delivered to the pipeline at resolution.
+	seg []emu.DynInst
+	// wp records the wrong-path uops dispatched for this miss, to be
+	// selectively flushed at resolution.
+	wp []*uop
+	// ck is the rename checkpoint at the branch (CP1 in Fig. 2);
+	// rtbl is the segment's private rename table seeded from ck, so the
+	// regular stream's table never sees resolve-path renamings (the
+	// regular-fetch checkpoint CP2 "does not contain the renamings made
+	// after dispatching the resolved path", §4.2).
+	ck      renameSnapshot
+	ckValid bool
+	rtbl    *rename.Table[renameRef]
+	// insertPos is where the next resolve-path uop is spliced into the
+	// linked ROB.
+	insertPos *rob.Node[*uop]
+	// dispatched counts resolve-path uops dispatched so far;
+	// segDispatched is set when the whole segment entered the ROB.
+	dispatched    int
+	segDispatched bool
+	// fetched counts segment instructions delivered to the frontend
+	// (resolve fetch can be preempted by an older miss and resumed).
+	fetched int
+	// stall is a mispredicted branch inside this resolve path; fetching
+	// the rest of the segment waits for it to resolve.
+	stall *uop
+	// resolved is set when the branch executed and the selective flush
+	// was performed.
+	resolved bool
+	// cancelled marks a miss squashed by an older conventional flush.
+	cancelled bool
+	// flushLen is the number of wrong-path uops flushed at resolution
+	// (for block-gap accounting).
+	flushLen int
+}
+
+// event is a scheduled completion.
+type event struct {
+	at int64
+	u  *uop
+	id uint64
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int           { return len(h) }
+func (h eventHeap) Less(i, j int) bool { return h[i].at < h[j].at }
+func (h eventHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)        { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+func (c *Core) schedule(u *uop, at int64) {
+	heap.Push(&c.events, event{at: at, u: u, id: u.id})
+}
+
+// uop pool.
+
+func (c *Core) newUop(d emu.DynInst, t *thread) *uop {
+	var u *uop
+	if n := len(c.pool); n > 0 {
+		u = c.pool[n-1]
+		c.pool = c.pool[:n-1]
+		*u = uop{}
+	} else {
+		u = &uop{}
+	}
+	c.nextID++
+	u.id = c.nextID
+	u.d = d
+	u.t = t
+	u.node.Val = u
+	return u
+}
+
+func (c *Core) freeUop(u *uop) {
+	if u.node.InList() {
+		panic("core: freeing linked uop")
+	}
+	u.miss = nil
+	u.t = nil
+	c.pool = append(c.pool, u)
+}

@@ -1,0 +1,85 @@
+// Package frq implements the fetch redirect queue of paper §4.6: a FIFO
+// of pending in-slice branch misses that must have their correct paths
+// fetched before regular fetch resumes at the regular-fetch checkpoint.
+//
+// Each entry carries the core-specific payload E (branch ROB entry,
+// correct-path PC, rename checkpoint). The queue is bounded; when full,
+// new misses fall back to the conventional full-flush recovery (§4.8).
+package frq
+
+// Queue is a bounded FIFO of pending in-slice misses.
+type Queue[E any] struct {
+	entries []E
+	cap     int
+
+	// Peak occupancy, for statistics.
+	peak int
+}
+
+// New returns a queue holding at most capacity entries (the paper
+// suggests 8).
+func New[E any](capacity int) *Queue[E] {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Queue[E]{cap: capacity}
+}
+
+// Len returns the current occupancy.
+func (q *Queue[E]) Len() int { return len(q.entries) }
+
+// Full reports whether a new miss must use conventional recovery.
+func (q *Queue[E]) Full() bool { return len(q.entries) >= q.cap }
+
+// Peak returns the maximum occupancy observed.
+func (q *Queue[E]) Peak() int { return q.peak }
+
+// Push appends a pending miss. It returns false when the queue is full.
+func (q *Queue[E]) Push(e E) bool {
+	if q.Full() {
+		return false
+	}
+	q.entries = append(q.entries, e)
+	if len(q.entries) > q.peak {
+		q.peak = len(q.entries)
+	}
+	return true
+}
+
+// Head returns the oldest pending miss. ok is false when empty.
+func (q *Queue[E]) Head() (e E, ok bool) {
+	if len(q.entries) == 0 {
+		return e, false
+	}
+	return q.entries[0], true
+}
+
+// Pop removes the oldest pending miss ("when the slice is resolved, the
+// head of the FRQ is removed").
+func (q *Queue[E]) Pop() {
+	if len(q.entries) == 0 {
+		panic("frq: Pop of empty queue")
+	}
+	q.entries = q.entries[1:]
+}
+
+// Squash removes every entry for which f returns true. A conventional
+// flush removes FRQ entries pointing at flushed instructions; because all
+// newer instructions flush together, FIFO order is preserved (§4.6).
+func (q *Queue[E]) Squash(f func(E) bool) int {
+	kept := q.entries[:0]
+	removed := 0
+	for _, e := range q.entries {
+		if f(e) {
+			removed++
+		} else {
+			kept = append(kept, e)
+		}
+	}
+	q.entries = kept
+	return removed
+}
+
+// All returns the queued entries oldest-first (read-only view for the
+// core's bookkeeping).
+func (q *Queue[E]) All() []E { return q.entries }

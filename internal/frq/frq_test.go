@@ -1,0 +1,122 @@
+package frq
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestFIFOOrder(t *testing.T) {
+	q := New[int](4)
+	for i := 1; i <= 4; i++ {
+		if !q.Push(i) {
+			t.Fatalf("push %d failed", i)
+		}
+	}
+	if q.Push(5) {
+		t.Fatal("push into full queue succeeded")
+	}
+	if !q.Full() || q.Len() != 4 || q.Peak() != 4 {
+		t.Fatalf("state: len=%d full=%v peak=%d", q.Len(), q.Full(), q.Peak())
+	}
+	for i := 1; i <= 4; i++ {
+		h, ok := q.Head()
+		if !ok || h != i {
+			t.Fatalf("head = %d, want %d", h, i)
+		}
+		q.Pop()
+	}
+	if _, ok := q.Head(); ok {
+		t.Fatal("head of empty queue")
+	}
+}
+
+func TestPopEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	New[int](2).Pop()
+}
+
+func TestSquash(t *testing.T) {
+	q := New[int](8)
+	for i := 0; i < 6; i++ {
+		q.Push(i)
+	}
+	removed := q.Squash(func(v int) bool { return v >= 3 })
+	if removed != 3 || q.Len() != 3 {
+		t.Fatalf("squash removed %d, len %d", removed, q.Len())
+	}
+	for want := 0; want < 3; want++ {
+		h, _ := q.Head()
+		if h != want {
+			t.Fatalf("order broken after squash: %d", h)
+		}
+		q.Pop()
+	}
+}
+
+func TestMinCapacity(t *testing.T) {
+	q := New[int](0)
+	if !q.Push(1) {
+		t.Fatal("capacity clamp failed")
+	}
+	if q.Push(2) {
+		t.Fatal("clamped capacity should be 1")
+	}
+}
+
+// TestQueueQuick compares against a slice model under random push, pop,
+// and squash operations.
+func TestQueueQuick(t *testing.T) {
+	f := func(ops []uint8) bool {
+		q := New[int](8)
+		var model []int
+		next := 0
+		for _, op := range ops {
+			switch op % 3 {
+			case 0:
+				ok := q.Push(next)
+				if ok != (len(model) < 8) {
+					return false
+				}
+				if ok {
+					model = append(model, next)
+				}
+				next++
+			case 1:
+				if len(model) > 0 {
+					h, ok := q.Head()
+					if !ok || h != model[0] {
+						return false
+					}
+					q.Pop()
+					model = model[1:]
+				}
+			case 2:
+				pred := func(v int) bool { return v%3 == 0 }
+				q.Squash(pred)
+				kept := model[:0]
+				for _, v := range model {
+					if !pred(v) {
+						kept = append(kept, v)
+					}
+				}
+				model = kept
+			}
+			if q.Len() != len(model) {
+				return false
+			}
+			for i, v := range q.All() {
+				if v != model[i] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

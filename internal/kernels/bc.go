@@ -1,0 +1,220 @@
+package kernels
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/isa"
+	"repro/internal/program"
+	"repro/internal/sim"
+)
+
+// buildBC constructs single-source betweenness centrality (Brandes), with
+// GAP's structure: a forward frontier-sliding-queue BFS accumulating path
+// counts (sigma, via atomic fetch-and-add), recording per-level queue
+// offsets, then a backward pass over the saved level lists accumulating
+// dependencies. Hard branches: the per-edge visited test and the per-edge
+// level test in the backward pass. Outer slicing wraps each frontier
+// vertex's expansion; inner slicing wraps each forward edge update (the
+// backward inner loop carries a register accumulation and keeps outer
+// slices, §6.1).
+func buildBC(spec Spec) *sim.Workload {
+	g := getGraph(spec, false)
+	n := g.N
+	src := sourceVertex(g)
+
+	l := program.NewLayout()
+	offB := l.AllocU32(n+1, g.Offsets)
+	neiB := l.AllocU32(len(g.Neigh), g.Neigh)
+	depthInit := make([]uint32, n)
+	for i := range depthInit {
+		depthInit[i] = inf32
+	}
+	depthInit[src] = 0
+	depthB := l.AllocU32(n, depthInit)
+	sigmaInit := make([]uint64, n)
+	sigmaInit[src] = 1
+	sigmaB := l.AllocU64(n, sigmaInit)
+	deltaB := l.AllocF64(n, nil)
+	bcB := l.AllocF64(n, nil)
+	queueB := l.AllocU32(n, []uint32{uint32(src)}) // sliding frontier queue
+	qTailB := l.AllocU32(16, []uint32{1})          // atomic tail
+	// levelStart[k] is the queue offset where level k begins; n has at
+	// most n levels.
+	lvlInit := make([]uint32, n+2)
+	lvlInit[1] = 1
+	lvlB := l.AllocU32(n+2, lvlInit)
+
+	outer := spec.Mode == SliceOuter
+	inner := spec.Mode == SliceInner
+	progs := make([]*isa.Program, spec.Threads)
+	for t := 0; t < spec.Threads; t++ {
+		b := program.NewBuilder(fmt.Sprintf("bc-t%d", t))
+		rOff, rNei, rDepth, rSigma, rDelta, rBC := b.Reg(), b.Reg(), b.Reg(), b.Reg(), b.Reg(), b.Reg()
+		rQ, rQTail, rLvl := b.Reg(), b.Reg(), b.Reg()
+		rInf, rOne, rFOne, rSrc := b.Reg(), b.Reg(), b.Reg(), b.Reg()
+		rLevel, rLevel1 := b.Reg(), b.Reg()
+		rQI, rQEnd, rV, rE, rEEnd := b.Reg(), b.Reg(), b.Reg(), b.Reg(), b.Reg()
+		rW, rDw, rT, rT2 := b.Reg(), b.Reg(), b.Reg(), b.Reg()
+		rSv, rSum, rF1 := b.Reg(), b.Reg(), b.Reg()
+
+		b.Li(rOff, int64(offB))
+		b.Li(rNei, int64(neiB))
+		b.Li(rDepth, int64(depthB))
+		b.Li(rSigma, int64(sigmaB))
+		b.Li(rDelta, int64(deltaB))
+		b.Li(rBC, int64(bcB))
+		b.Li(rQ, int64(queueB))
+		b.Li(rQTail, int64(qTailB))
+		b.Li(rLvl, int64(lvlB))
+		b.Li(rInf, int64(inf32))
+		b.Li(rOne, 1)
+		b.LiF(rFOne, 1.0)
+		b.Li(rSrc, int64(src))
+		b.Li(rLevel, 0)
+
+		// chunkQ computes this thread's [rQI, rQEnd) chunk of the
+		// queue range [levelStart[level], levelStart[level+1]).
+		chunkQ := func() {
+			b.LdX32(rT, rLvl, rLevel, 2)
+			b.AddI(rT2, rLevel, 1)
+			b.LdX32(rT2, rLvl, rT2, 2)
+			b.Sub(rT2, rT2, rT) // level size
+			b.MulI(rQI, rT2, int64(t))
+			b.Li(rQEnd, int64(spec.Threads))
+			b.Div(rQI, rQI, rQEnd)
+			b.Add(rQI, rQI, rT)
+			b.MulI(rQEnd, rT2, int64(t)+1)
+			b.Li(rEEnd, int64(spec.Threads))
+			b.Div(rQEnd, rQEnd, rEEnd)
+			b.Add(rQEnd, rQEnd, rT)
+		}
+
+		// Forward phase.
+		b.Label("fwdLevel")
+		b.Barrier()
+		b.AddI(rLevel1, rLevel, 1)
+		chunkQ()
+		b.Bge(rQI, rQEnd, "fwdScanDone")
+		b.Label("fwdScan")
+		b.LdX32(rV, rQ, rQI, 2)
+		b.SliceStart(outer)
+		b.LdX64(rSv, rSigma, rV, 3)
+		b.LdX32(rE, rOff, rV, 2)
+		b.AddI(rT, rV, 1)
+		b.LdX32(rEEnd, rOff, rT, 2)
+		b.Bge(rE, rEEnd, "fwdSkipV")
+		b.Label("fwdEdge")
+		b.SliceStart(inner)
+		b.LdX32(rW, rNei, rE, 2)
+		b.LdX32(rDw, rDepth, rW, 2)
+		b.Bne(rDw, rInf, "fwdNotInf")
+		b.AMinX32(rDw, rDepth, rW, 2, rLevel1)
+		b.Bne(rDw, rInf, "fwdNotInf") // raced: another parent claimed w
+		b.AAdd32(rT, rQTail, 0, rOne)
+		b.StX32(rQ, rT, 2, rW)
+		b.AAddX64(rT, rSigma, rW, 3, rSv)
+		b.Jmp("fwdSkipE")
+		b.Label("fwdNotInf")
+		b.Bne(rDw, rLevel1, "fwdSkipE")
+		b.AAddX64(rT, rSigma, rW, 3, rSv)
+		b.Label("fwdSkipE")
+		b.SliceEnd(inner)
+		b.AddI(rE, rE, 1)
+		b.Blt(rE, rEEnd, "fwdEdge")
+		b.Label("fwdSkipV")
+		b.SliceEnd(outer)
+		b.AddI(rQI, rQI, 1)
+		b.Blt(rQI, rQEnd, "fwdScan")
+		b.Label("fwdScanDone")
+		b.SliceFence(spec.Mode != SliceNone)
+		b.Barrier()
+		if t == 0 {
+			// levelStart[level+2] = queue tail: the extent of the
+			// next level's vertices, all enqueued this round.
+			b.Ld32(rT, rQTail, 0)
+			b.AddI(rT2, rLevel, 2)
+			b.StX32(rLvl, rT2, 2, rT)
+		}
+		b.Barrier()
+		b.AddI(rLevel, rLevel, 1)
+		// Loop while the new level is non-empty.
+		b.LdX32(rT, rLvl, rLevel, 2)
+		b.AddI(rT2, rLevel, 1)
+		b.LdX32(rT2, rLvl, rT2, 2)
+		b.Bne(rT, rT2, "fwdLevel")
+
+		// Backward phase: levels maxDepth-1 .. 0 over the saved lists.
+		b.AddI(rLevel, rLevel, -2)
+		b.Blt(rLevel, isa.R0, "bwdDone")
+		b.Label("bwdLevel")
+		b.Barrier()
+		b.AddI(rLevel1, rLevel, 1)
+		chunkQ()
+		b.Bge(rQI, rQEnd, "bwdScanDone")
+		b.Label("bwdScan")
+		b.LdX32(rV, rQ, rQI, 2)
+		b.SliceStart(outer || inner)
+		b.LdX64(rSv, rSigma, rV, 3)
+		b.CvtIF(rSv, rSv)
+		b.Li(rSum, 0) // 0.0
+		b.LdX32(rE, rOff, rV, 2)
+		b.AddI(rT, rV, 1)
+		b.LdX32(rEEnd, rOff, rT, 2)
+		b.Bge(rE, rEEnd, "bwdWrite")
+		b.Label("bwdEdge")
+		b.LdX32(rW, rNei, rE, 2)
+		b.LdX32(rDw, rDepth, rW, 2)
+		b.Bne(rDw, rLevel1, "bwdSkipE") // level test: the hard branch
+		b.LdX64(rF1, rSigma, rW, 3)
+		b.CvtIF(rF1, rF1)
+		b.FDiv(rF1, rSv, rF1)
+		b.LdX64(rT, rDelta, rW, 3)
+		b.FAdd(rT, rT, rFOne)
+		b.FMul(rF1, rF1, rT)
+		b.FAdd(rSum, rSum, rF1)
+		b.Label("bwdSkipE")
+		b.AddI(rE, rE, 1)
+		b.Blt(rE, rEEnd, "bwdEdge")
+		b.Label("bwdWrite")
+		b.StX64(rDelta, rV, 3, rSum)
+		b.Beq(rV, rSrc, "bwdSkipV")
+		b.LdX64(rF1, rBC, rV, 3)
+		b.FAdd(rF1, rF1, rSum)
+		b.StX64(rBC, rV, 3, rF1)
+		b.Label("bwdSkipV")
+		b.SliceEnd(outer || inner)
+		b.AddI(rQI, rQI, 1)
+		b.Blt(rQI, rQEnd, "bwdScan")
+		b.Label("bwdScanDone")
+		b.SliceFence(spec.Mode != SliceNone)
+		b.Barrier()
+		b.AddI(rLevel, rLevel, -1)
+		b.Bge(rLevel, isa.R0, "bwdLevel")
+		b.Label("bwdDone")
+		b.Halt()
+		progs[t] = b.Build()
+	}
+
+	wantDepth, wantSigma, wantBC := refBC(g, src)
+	return &sim.Workload{
+		Name:  fmt.Sprintf("bc-s%d-%s", spec.Scale, spec.Mode),
+		Progs: progs,
+		Mem:   l.Image(),
+		Check: func(mem []byte) error {
+			for v := 0; v < n; v++ {
+				if got := program.ReadU32(mem, depthB+uint64(v)*4); got != wantDepth[v] {
+					return fmt.Errorf("bc: depth[%d] = %d, want %d", v, got, wantDepth[v])
+				}
+				if got := program.ReadU64(mem, sigmaB+uint64(v)*8); got != wantSigma[v] {
+					return fmt.Errorf("bc: sigma[%d] = %d, want %d", v, got, wantSigma[v])
+				}
+				got := program.ReadF64(mem, bcB+uint64(v)*8)
+				if math.Abs(got-wantBC[v]) > 1e-9*math.Max(1, math.Abs(wantBC[v])) {
+					return fmt.Errorf("bc: bc[%d] = %g, want %g", v, got, wantBC[v])
+				}
+			}
+			return nil
+		},
+	}
+}

@@ -1,0 +1,128 @@
+package kernels
+
+import (
+	"fmt"
+
+	"repro/internal/isa"
+	"repro/internal/program"
+	"repro/internal/sim"
+)
+
+// buildBFS constructs frontier-queue top-down breadth-first search, the
+// structure of GAP's top-down step: each level, threads process chunks of
+// the current frontier queue; per edge, a visited test guards an atomic
+// depth update (GAP's compare-and-swap) and a fetch-and-add enqueue into
+// the next frontier. The visited test is the data-dependent hard branch,
+// and its reconvergent remainder is the rest of the edge loop. Only the
+// outer (per-frontier-vertex) loop is sliceable (§6.1).
+func buildBFS(spec Spec) *sim.Workload {
+	g := getGraph(spec, false)
+	n := g.N
+	src := sourceVertex(g)
+
+	l := program.NewLayout()
+	offB := l.AllocU32(n+1, g.Offsets)
+	neiB := l.AllocU32(len(g.Neigh), g.Neigh)
+	depthInit := make([]uint32, n)
+	for i := range depthInit {
+		depthInit[i] = inf32
+	}
+	depthInit[src] = 0
+	depthB := l.AllocU32(n, depthInit)
+	qAB := l.AllocU32(n, []uint32{uint32(src)})
+	qBB := l.AllocU32(n, nil)
+	cntAB := l.AllocU32(16, []uint32{1}) // current-frontier size (padded line)
+	cntBB := l.AllocU32(16, nil)         // next-frontier size
+
+	sliced := spec.Mode == SliceOuter
+	progs := make([]*isa.Program, spec.Threads)
+	for t := 0; t < spec.Threads; t++ {
+		b := program.NewBuilder(fmt.Sprintf("bfs-t%d", t))
+		rOff, rNei, rDepth := b.Reg(), b.Reg(), b.Reg()
+		rCurQ, rNxtQ, rCntCur, rCntNxt := b.Reg(), b.Reg(), b.Reg(), b.Reg()
+		rLevel1, rInf, rOne := b.Reg(), b.Reg(), b.Reg()
+		rQI, rQEnd, rV, rE, rEEnd := b.Reg(), b.Reg(), b.Reg(), b.Reg(), b.Reg()
+		rW, rDw, rIdx, rT := b.Reg(), b.Reg(), b.Reg(), b.Reg()
+
+		b.Li(rOff, int64(offB))
+		b.Li(rNei, int64(neiB))
+		b.Li(rDepth, int64(depthB))
+		b.Li(rCurQ, int64(qAB))
+		b.Li(rNxtQ, int64(qBB))
+		b.Li(rCntCur, int64(cntAB))
+		b.Li(rCntNxt, int64(cntBB))
+		b.Li(rInf, int64(inf32))
+		b.Li(rOne, 1)
+		b.Li(rLevel1, 1)
+
+		b.Label("level")
+		b.Barrier()
+		if t == 0 {
+			b.St32(rCntNxt, 0, isa.R0)
+		}
+		b.Barrier()
+		// This thread's chunk of the frontier queue.
+		b.Ld32(rT, rCntCur, 0)
+		b.MulI(rQI, rT, int64(t))
+		b.Li(rQEnd, int64(spec.Threads))
+		b.Div(rQI, rQI, rQEnd)
+		b.MulI(rQEnd, rT, int64(t)+1)
+		b.Li(rT, int64(spec.Threads))
+		b.Div(rQEnd, rQEnd, rT)
+		b.Bge(rQI, rQEnd, "scanDone")
+
+		b.Label("scan")
+		b.LdX32(rV, rCurQ, rQI, 2)
+		b.SliceStart(sliced)
+		b.LdX32(rE, rOff, rV, 2)
+		b.AddI(rT, rV, 1)
+		b.LdX32(rEEnd, rOff, rT, 2)
+		b.Bge(rE, rEEnd, "skipV")
+		b.Label("edge")
+		b.LdX32(rW, rNei, rE, 2)
+		b.LdX32(rDw, rDepth, rW, 2)
+		b.Bne(rDw, rInf, "skipW") // visited test: the hard branch
+		b.AMinX32(rDw, rDepth, rW, 2, rLevel1)
+		b.Bne(rDw, rInf, "skipW") // another slice claimed w first
+		b.AAdd32(rIdx, rCntNxt, 0, rOne)
+		b.StX32(rNxtQ, rIdx, 2, rW)
+		b.Label("skipW")
+		b.AddI(rE, rE, 1)
+		b.Blt(rE, rEEnd, "edge")
+		b.Label("skipV")
+		b.SliceEnd(sliced)
+		b.AddI(rQI, rQI, 1)
+		b.Blt(rQI, rQEnd, "scan")
+		b.Label("scanDone")
+		b.SliceFence(sliced)
+		b.Barrier()
+		// Swap queues, advance the level, loop while the next frontier
+		// is non-empty.
+		b.Ld32(rT, rCntNxt, 0)
+		b.Mov(rIdx, rCurQ)
+		b.Mov(rCurQ, rNxtQ)
+		b.Mov(rNxtQ, rIdx)
+		b.Mov(rIdx, rCntCur)
+		b.Mov(rCntCur, rCntNxt)
+		b.Mov(rCntNxt, rIdx)
+		b.AddI(rLevel1, rLevel1, 1)
+		b.Bne(rT, isa.R0, "level")
+		b.Halt()
+		progs[t] = b.Build()
+	}
+
+	want := refBFS(g, src)
+	return &sim.Workload{
+		Name:  fmt.Sprintf("bfs-s%d-%s", spec.Scale, spec.Mode),
+		Progs: progs,
+		Mem:   l.Image(),
+		Check: func(mem []byte) error {
+			for v := 0; v < n; v++ {
+				if got := program.ReadU32(mem, depthB+uint64(v)*4); got != want[v] {
+					return fmt.Errorf("bfs: depth[%d] = %d, want %d", v, got, want[v])
+				}
+			}
+			return nil
+		},
+	}
+}

@@ -1,0 +1,132 @@
+package kernels
+
+import (
+	"fmt"
+
+	"repro/internal/isa"
+	"repro/internal/program"
+	"repro/internal/sim"
+)
+
+// buildCC constructs connected components via min-label propagation
+// (Shiloach-Vishkin-style hooking, as in GAP's SV variant): rounds of
+// edge scans pulling the minimum component label, until a fixed point.
+// The label-comparison branches are data dependent and hard. Both inner
+// and outer slicing are available (§6.1 evaluates both; inner wins for cc
+// in Fig. 4).
+func buildCC(spec Spec) *sim.Workload {
+	g := getGraph(spec, false)
+	n := g.N
+
+	l := program.NewLayout()
+	offB := l.AllocU32(n+1, g.Offsets)
+	neiB := l.AllocU32(len(g.Neigh), g.Neigh)
+	compInit := make([]uint32, n)
+	for i := range compInit {
+		compInit[i] = uint32(i)
+	}
+	compB := l.AllocU32(n, compInit)
+	changedB := l.AllocU32(16, []uint32{1})
+
+	progs := make([]*isa.Program, spec.Threads)
+	for t := 0; t < spec.Threads; t++ {
+		lo, hi := chunk(n, spec.Threads, t)
+		b := program.NewBuilder(fmt.Sprintf("cc-t%d", t))
+		rOff, rNei, rComp, rChg := b.Reg(), b.Reg(), b.Reg(), b.Reg()
+		rOne := b.Reg()
+		rV, rVEnd, rE, rEEnd := b.Reg(), b.Reg(), b.Reg(), b.Reg()
+		rW, rCw, rCv, rMy, rT := b.Reg(), b.Reg(), b.Reg(), b.Reg(), b.Reg()
+
+		b.Li(rOff, int64(offB))
+		b.Li(rNei, int64(neiB))
+		b.Li(rComp, int64(compB))
+		b.Li(rChg, int64(changedB))
+		b.Li(rOne, 1)
+		b.Li(rVEnd, int64(hi))
+
+		b.Label("round")
+		b.Barrier()
+		if t == 0 {
+			b.St32(rChg, 0, isa.R0)
+		}
+		b.Barrier()
+		b.Li(rV, int64(lo))
+		b.Bge(rV, rVEnd, "scanDone")
+
+		switch spec.Mode {
+		case SliceInner:
+			// Slice around each edge relaxation; the vertex loop and
+			// edge-loop branches stay outside the slices and recover
+			// conventionally.
+			b.Label("scan")
+			b.LdX32(rE, rOff, rV, 2)
+			b.AddI(rT, rV, 1)
+			b.LdX32(rEEnd, rOff, rT, 2)
+			b.Bge(rE, rEEnd, "skipV")
+			b.Label("edge")
+			b.SliceStart(true)
+			b.LdX32(rW, rNei, rE, 2)
+			b.LdX32(rCw, rComp, rW, 2)
+			b.LdX32(rCv, rComp, rV, 2)
+			b.Bgeu(rCw, rCv, "skipE")
+			b.AMinX32(rT, rComp, rV, 2, rCw)
+			b.St32(rChg, 0, rOne)
+			b.Label("skipE")
+			b.SliceEnd(true)
+			b.AddI(rE, rE, 1)
+			b.Blt(rE, rEEnd, "edge")
+			b.Label("skipV")
+			b.AddI(rV, rV, 1)
+			b.Blt(rV, rVEnd, "scan")
+		default:
+			sliced := spec.Mode == SliceOuter
+			b.Label("scan")
+			b.SliceStart(sliced)
+			b.LdX32(rMy, rComp, rV, 2)
+			b.Mov(rCv, rMy)
+			b.LdX32(rE, rOff, rV, 2)
+			b.AddI(rT, rV, 1)
+			b.LdX32(rEEnd, rOff, rT, 2)
+			b.Bge(rE, rEEnd, "reduceV")
+			b.Label("edge")
+			b.LdX32(rW, rNei, rE, 2)
+			b.LdX32(rCw, rComp, rW, 2)
+			b.Bgeu(rCw, rMy, "skipE")
+			b.Mov(rMy, rCw)
+			b.Label("skipE")
+			b.AddI(rE, rE, 1)
+			b.Blt(rE, rEEnd, "edge")
+			b.Label("reduceV")
+			b.Bgeu(rMy, rCv, "skipV")
+			b.AMinX32(rT, rComp, rV, 2, rMy)
+			b.St32(rChg, 0, rOne)
+			b.Label("skipV")
+			b.SliceEnd(sliced)
+			b.AddI(rV, rV, 1)
+			b.Blt(rV, rVEnd, "scan")
+		}
+
+		b.Label("scanDone")
+		b.SliceFence(spec.Mode != SliceNone)
+		b.Barrier()
+		b.Ld32(rT, rChg, 0)
+		b.Bne(rT, isa.R0, "round")
+		b.Halt()
+		progs[t] = b.Build()
+	}
+
+	want := refCC(g)
+	return &sim.Workload{
+		Name:  fmt.Sprintf("cc-s%d-%s", spec.Scale, spec.Mode),
+		Progs: progs,
+		Mem:   l.Image(),
+		Check: func(mem []byte) error {
+			for v := 0; v < n; v++ {
+				if got := program.ReadU32(mem, compB+uint64(v)*4); got != want[v] {
+					return fmt.Errorf("cc: comp[%d] = %d, want %d", v, got, want[v])
+				}
+			}
+			return nil
+		},
+	}
+}

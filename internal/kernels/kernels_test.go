@@ -1,0 +1,76 @@
+package kernels
+
+import (
+	"testing"
+
+	"repro/internal/emu"
+)
+
+// modesFor returns every slice mode a kernel supports.
+func modesFor(kernel string) []SliceMode {
+	modes := []SliceMode{SliceNone, SliceOuter}
+	if InnerSliceable(kernel) {
+		modes = append(modes, SliceInner)
+	}
+	return modes
+}
+
+// runFunctional executes a workload on the functional emulator (no
+// timing) with the slice-discipline checker on, and validates the output.
+func runFunctional(t *testing.T, spec Spec) {
+	t.Helper()
+	w, err := Build(spec)
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	machines := make([]*emu.Machine, len(w.Progs))
+	for i, p := range w.Progs {
+		machines[i] = emu.New(p, w.Mem)
+		machines[i].CheckIndependence = true
+	}
+	if _, err := emu.RunAll(machines, 500_000_000); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if err := w.Check(w.Mem); err != nil {
+		t.Fatalf("check: %v", err)
+	}
+}
+
+func TestKernelsFunctionalSingleThread(t *testing.T) {
+	for _, k := range Names {
+		for _, m := range modesFor(k) {
+			t.Run(k+"-"+m.String(), func(t *testing.T) {
+				runFunctional(t, Spec{Kernel: k, Scale: 7, Mode: m})
+			})
+		}
+	}
+}
+
+func TestKernelsFunctionalMultiThread(t *testing.T) {
+	for _, k := range Names {
+		for _, m := range modesFor(k) {
+			t.Run(k+"-"+m.String(), func(t *testing.T) {
+				runFunctional(t, Spec{Kernel: k, Scale: 7, Mode: m, Threads: 4})
+			})
+		}
+	}
+}
+
+func TestKernelsDefaultScales(t *testing.T) {
+	if testing.Short() {
+		t.Skip("default-scale functional runs are slow")
+	}
+	for _, k := range Names {
+		t.Run(k, func(t *testing.T) {
+			runFunctional(t, Spec{Kernel: k, Mode: SliceOuter})
+		})
+	}
+}
+
+func TestInnerSliceRejected(t *testing.T) {
+	for _, k := range []string{"bfs", "pr", "tc", "ms"} {
+		if _, err := Build(Spec{Kernel: k, Scale: 6, Mode: SliceInner}); err == nil {
+			t.Errorf("%s: inner slicing should be rejected", k)
+		}
+	}
+}

@@ -1,0 +1,136 @@
+package kernels
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/graph"
+	"repro/internal/isa"
+	"repro/internal/program"
+	"repro/internal/sim"
+)
+
+// buildMS constructs bottom-up merge sort of 2^scale random 32-bit keys:
+// each pass merges disjoint pairs of width-w runs (parallel tasks, chunked
+// across threads with a barrier per pass), with the element comparison as
+// the unpredictable branch. Only the outer (task) loop is sliceable
+// (§6.1: the merge loop itself is serially dependent).
+func buildMS(spec Spec) *sim.Workload {
+	n := 1 << spec.Scale
+	rng := graph.NewRNG(spec.Seed)
+	data := make([]uint32, n)
+	for i := range data {
+		data[i] = uint32(rng.Next())
+	}
+
+	l := program.NewLayout()
+	aB := l.AllocU32(n, data)
+	bB := l.AllocU32(n, nil)
+
+	sliced := spec.Mode == SliceOuter
+	progs := make([]*isa.Program, spec.Threads)
+	for t := 0; t < spec.Threads; t++ {
+		b := program.NewBuilder(fmt.Sprintf("ms-t%d", t))
+		rSrc, rDst, rN, rWidth, rW2 := b.Reg(), b.Reg(), b.Reg(), b.Reg(), b.Reg()
+		rNTasks, rTask, rTaskEnd := b.Reg(), b.Reg(), b.Reg()
+		rBase, rMid, rEnd := b.Reg(), b.Reg(), b.Reg()
+		rI, rJ, rO, rA, rB, rT := b.Reg(), b.Reg(), b.Reg(), b.Reg(), b.Reg(), b.Reg()
+
+		b.Li(rSrc, int64(aB))
+		b.Li(rDst, int64(bB))
+		b.Li(rN, int64(n))
+		b.Li(rWidth, 1)
+
+		b.Label("pass")
+		b.Barrier()
+		// nTasks = ceil(n / 2w); this thread handles tasks
+		// [t*nTasks/T, (t+1)*nTasks/T).
+		b.ShlI(rW2, rWidth, 1)
+		b.Add(rT, rN, rW2)
+		b.AddI(rT, rT, -1)
+		b.Div(rNTasks, rT, rW2)
+		b.MulI(rTask, rNTasks, int64(t))
+		b.Li(rT, int64(spec.Threads))
+		b.Div(rTask, rTask, rT)
+		b.MulI(rTaskEnd, rNTasks, int64(t)+1)
+		b.Div(rTaskEnd, rTaskEnd, rT)
+		b.Bge(rTask, rTaskEnd, "tasksDone")
+
+		b.Label("task")
+		b.Mul(rBase, rTask, rW2)
+		b.Add(rMid, rBase, rWidth)
+		b.Min(rMid, rMid, rN)
+		b.Add(rEnd, rBase, rW2)
+		b.Min(rEnd, rEnd, rN)
+		b.SliceStart(sliced)
+		b.Mov(rI, rBase)
+		b.Mov(rJ, rMid)
+		b.Mov(rO, rBase)
+		b.Label("merge")
+		b.Bge(rI, rMid, "drainJ")
+		b.Bge(rJ, rEnd, "drainI")
+		b.LdX32(rA, rSrc, rI, 2)
+		b.LdX32(rB, rSrc, rJ, 2)
+		b.Bgeu(rB, rA, "takeA") // a <= b: stable take from the left run
+		b.StX32(rDst, rO, 2, rB)
+		b.AddI(rJ, rJ, 1)
+		b.AddI(rO, rO, 1)
+		b.Jmp("merge")
+		b.Label("takeA")
+		b.StX32(rDst, rO, 2, rA)
+		b.AddI(rI, rI, 1)
+		b.AddI(rO, rO, 1)
+		b.Jmp("merge")
+		b.Label("drainI")
+		b.Bge(rI, rMid, "mergeDone")
+		b.LdX32(rA, rSrc, rI, 2)
+		b.StX32(rDst, rO, 2, rA)
+		b.AddI(rI, rI, 1)
+		b.AddI(rO, rO, 1)
+		b.Jmp("drainI")
+		b.Label("drainJ")
+		b.Bge(rJ, rEnd, "mergeDone")
+		b.LdX32(rA, rSrc, rJ, 2)
+		b.StX32(rDst, rO, 2, rA)
+		b.AddI(rJ, rJ, 1)
+		b.AddI(rO, rO, 1)
+		b.Jmp("drainJ")
+		b.Label("mergeDone")
+		b.SliceEnd(sliced)
+		b.AddI(rTask, rTask, 1)
+		b.Blt(rTask, rTaskEnd, "task")
+		b.Label("tasksDone")
+		b.SliceFence(sliced)
+		b.Barrier()
+		// Swap buffers, double the run width.
+		b.Mov(rT, rSrc)
+		b.Mov(rSrc, rDst)
+		b.Mov(rDst, rT)
+		b.ShlI(rWidth, rWidth, 1)
+		b.Blt(rWidth, rN, "pass")
+		b.Halt()
+		progs[t] = b.Build()
+	}
+
+	want := append([]uint32(nil), data...)
+	sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+	// After scale passes the sorted data sits in A for even scale, B for
+	// odd (buffers swap once per pass).
+	resultB := aB
+	if spec.Scale%2 == 1 {
+		resultB = bB
+	}
+	return &sim.Workload{
+		Name:  fmt.Sprintf("ms-s%d-%s", spec.Scale, spec.Mode),
+		Progs: progs,
+		Mem:   l.Image(),
+		Check: func(mem []byte) error {
+			for i := 0; i < n; i++ {
+				if got := program.ReadU32(mem, resultB+uint64(i)*4); got != want[i] {
+					return fmt.Errorf("ms: out[%d] = %d, want %d", i, got, want[i])
+				}
+			}
+			return nil
+		},
+	}
+}

@@ -1,0 +1,186 @@
+package kernels
+
+import "repro/internal/graph"
+
+// Host-side reference implementations used to validate the simulated
+// kernels' final memory images.
+
+// refBFS returns the depth of every vertex from src (inf32 if unreached).
+func refBFS(g *graph.CSR, src int) []uint32 {
+	depth := make([]uint32, g.N)
+	for i := range depth {
+		depth[i] = inf32
+	}
+	depth[src] = 0
+	frontier := []int{src}
+	for level := uint32(0); len(frontier) > 0; level++ {
+		var next []int
+		for _, v := range frontier {
+			for _, w := range g.Neigh[g.Offsets[v]:g.Offsets[v+1]] {
+				if depth[w] == inf32 {
+					depth[w] = level + 1
+					next = append(next, int(w))
+				}
+			}
+		}
+		frontier = next
+	}
+	return depth
+}
+
+// refCC returns per-vertex component labels: the minimum vertex id in each
+// component (the fixed point of min-label propagation).
+func refCC(g *graph.CSR) []uint32 {
+	comp := make([]uint32, g.N)
+	for v := range comp {
+		comp[v] = uint32(v)
+	}
+	for changed := true; changed; {
+		changed = false
+		for v := 0; v < g.N; v++ {
+			for _, w := range g.Neigh[g.Offsets[v]:g.Offsets[v+1]] {
+				if comp[w] < comp[v] {
+					comp[v] = comp[w]
+					changed = true
+				}
+			}
+		}
+	}
+	return comp
+}
+
+// refSSSP returns shortest path distances (weighted) from src.
+func refSSSP(g *graph.CSR, src int) []uint32 {
+	dist := make([]uint32, g.N)
+	for i := range dist {
+		dist[i] = inf32
+	}
+	dist[src] = 0
+	// Bellman-Ford to a fixed point (matches the kernel's semantics).
+	for changed := true; changed; {
+		changed = false
+		for v := 0; v < g.N; v++ {
+			if dist[v] == inf32 {
+				continue
+			}
+			for e := g.Offsets[v]; e < g.Offsets[v+1]; e++ {
+				w, wt := g.Neigh[e], g.Weights[e]
+				if nd := dist[v] + wt; nd < dist[w] {
+					dist[w] = nd
+					changed = true
+				}
+			}
+		}
+	}
+	return dist
+}
+
+// refPR returns pagerank scores after iters pull sweeps with damping 0.85,
+// matching the kernel's arithmetic exactly (same operation order per
+// vertex, so results are bitwise reproducible).
+func refPR(g *graph.CSR, iters int) []float64 {
+	n := g.N
+	const d = 0.85
+	base := (1 - d) / float64(n)
+	score := make([]float64, n)
+	contrib := make([]float64, n)
+	for v := range score {
+		score[v] = 1 / float64(n)
+	}
+	for it := 0; it < iters; it++ {
+		for v := 0; v < n; v++ {
+			if deg := g.Degree(v); deg > 0 {
+				contrib[v] = score[v] / float64(deg)
+			} else {
+				contrib[v] = 0
+			}
+		}
+		for v := 0; v < n; v++ {
+			sum := 0.0
+			for _, w := range g.Neigh[g.Offsets[v]:g.Offsets[v+1]] {
+				sum += contrib[w]
+			}
+			score[v] = base + d*sum
+		}
+	}
+	return score
+}
+
+// refBC returns (depth, sigma, delta-based centrality) from a single
+// source, level-synchronous Brandes.
+func refBC(g *graph.CSR, src int) (depth []uint32, sigma []uint64, bc []float64) {
+	depth = refBFS(g, src)
+	sigma = make([]uint64, g.N)
+	sigma[src] = 1
+	maxLevel := uint32(0)
+	for _, d := range depth {
+		if d != inf32 && d > maxLevel {
+			maxLevel = d
+		}
+	}
+	for level := uint32(0); level < maxLevel; level++ {
+		for v := 0; v < g.N; v++ {
+			if depth[v] != level {
+				continue
+			}
+			for _, w := range g.Neigh[g.Offsets[v]:g.Offsets[v+1]] {
+				if depth[w] == level+1 {
+					sigma[w] += sigma[v]
+				}
+			}
+		}
+	}
+	delta := make([]float64, g.N)
+	bc = make([]float64, g.N)
+	for level := int(maxLevel) - 1; level >= 0; level-- {
+		for v := 0; v < g.N; v++ {
+			if depth[v] != uint32(level) {
+				continue
+			}
+			sum := 0.0
+			for _, w := range g.Neigh[g.Offsets[v]:g.Offsets[v+1]] {
+				if depth[w] == uint32(level)+1 {
+					sum += float64(sigma[v]) / float64(sigma[w]) * (1 + delta[w])
+				}
+			}
+			delta[v] = sum
+			if v != src {
+				bc[v] = delta[v]
+			}
+		}
+	}
+	return depth, sigma, bc
+}
+
+// refTC returns the triangle count (each triangle counted once).
+func refTC(g *graph.CSR) uint64 {
+	var count uint64
+	for u := 0; u < g.N; u++ {
+		for _, w := range g.Neigh[g.Offsets[u]:g.Offsets[u+1]] {
+			if int(w) <= u {
+				continue
+			}
+			// Intersect N(u) and N(w) above w.
+			i, j := g.Offsets[u], g.Offsets[int(w)]
+			iEnd, jEnd := g.Offsets[u+1], g.Offsets[int(w)+1]
+			for i < iEnd && j < jEnd {
+				a, b := g.Neigh[i], g.Neigh[j]
+				switch {
+				case a <= w:
+					i++
+				case b <= w:
+					j++
+				case a < b:
+					i++
+				case a > b:
+					j++
+				default:
+					count++
+					i++
+					j++
+				}
+			}
+		}
+	}
+	return count
+}

@@ -1,0 +1,174 @@
+package kernels
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// Cross-checks between the host reference implementations: structurally
+// different algorithms must agree on derived facts.
+
+func TestRefBFSvsSSSPUnitWeights(t *testing.T) {
+	// On a unit-weight graph, SSSP distances equal BFS depths.
+	g := graph.RMAT(8, 8, 11, true)
+	for i := range g.Weights {
+		g.Weights[i] = 1
+	}
+	src := sourceVertex(g)
+	depth := refBFS(g, src)
+	dist := refSSSP(g, src)
+	for v := 0; v < g.N; v++ {
+		if depth[v] != dist[v] {
+			t.Fatalf("v%d: depth %d != unit dist %d", v, depth[v], dist[v])
+		}
+	}
+}
+
+func TestRefSSSPBounds(t *testing.T) {
+	// Weighted distances are bounded by depth*minW from below and
+	// depth*maxW from above on the reachable set.
+	g := graph.RMAT(8, 8, 12, true)
+	src := sourceVertex(g)
+	depth := refBFS(g, src)
+	dist := refSSSP(g, src)
+	for v := 0; v < g.N; v++ {
+		if (depth[v] == inf32) != (dist[v] == inf32) {
+			t.Fatalf("v%d reachability disagrees", v)
+		}
+		if depth[v] != inf32 && dist[v] > depth[v]*255 {
+			t.Fatalf("v%d dist %d exceeds depth*maxW", v, dist[v])
+		}
+		if dist[v] != inf32 && dist[v] < depth[v] {
+			t.Fatalf("v%d dist %d below hop count %d", v, dist[v], depth[v])
+		}
+	}
+}
+
+func TestRefCCPartition(t *testing.T) {
+	g := graph.RMAT(8, 8, 13, false)
+	comp := refCC(g)
+	// Every edge joins vertices of the same component; the label is the
+	// minimum id of its component.
+	for v := 0; v < g.N; v++ {
+		if comp[v] > uint32(v) {
+			t.Fatalf("label %d exceeds vertex id %d", comp[v], v)
+		}
+		for _, w := range g.Neigh[g.Offsets[v]:g.Offsets[v+1]] {
+			if comp[v] != comp[w] {
+				t.Fatalf("edge (%d,%d) crosses components", v, w)
+			}
+		}
+		if comp[comp[v]] != comp[v] {
+			t.Fatalf("label %d is not its own representative", comp[v])
+		}
+	}
+	// Everything BFS reaches from a vertex shares its component.
+	src := sourceVertex(g)
+	depth := refBFS(g, src)
+	for v := 0; v < g.N; v++ {
+		if depth[v] != inf32 && comp[v] != comp[src] {
+			t.Fatalf("v%d reachable but in another component", v)
+		}
+	}
+}
+
+func TestRefBCConservation(t *testing.T) {
+	// Brandes invariants: sigma[src]=1; for any v at depth d>0, sigma[v]
+	// equals the sum of sigma over its depth-(d-1) neighbors.
+	g := graph.RMAT(7, 8, 14, false)
+	src := sourceVertex(g)
+	depth, sigma, bc := refBC(g, src)
+	if sigma[src] != 1 {
+		t.Fatalf("sigma[src] = %d", sigma[src])
+	}
+	for v := 0; v < g.N; v++ {
+		if depth[v] == inf32 || v == src {
+			continue
+		}
+		var want uint64
+		for _, w := range g.Neigh[g.Offsets[v]:g.Offsets[v+1]] {
+			if depth[w] == depth[v]-1 {
+				want += sigma[w]
+			}
+		}
+		if sigma[v] != want {
+			t.Fatalf("sigma[%d] = %d, want %d", v, sigma[v], want)
+		}
+		if bc[v] < 0 {
+			t.Fatalf("negative centrality at %d", v)
+		}
+	}
+	if bc[src] != 0 {
+		t.Fatalf("bc[src] = %f", bc[src])
+	}
+}
+
+func TestRefTCHandshake(t *testing.T) {
+	// Triangle count via the reference must match a brute-force count on
+	// a small graph.
+	g := graph.RMAT(6, 6, 15, false)
+	adj := make(map[[2]int]bool)
+	for v := 0; v < g.N; v++ {
+		for _, w := range g.Neigh[g.Offsets[v]:g.Offsets[v+1]] {
+			adj[[2]int{v, int(w)}] = true
+		}
+	}
+	var brute uint64
+	for u := 0; u < g.N; u++ {
+		for w := u + 1; w < g.N; w++ {
+			if !adj[[2]int{u, w}] {
+				continue
+			}
+			for x := w + 1; x < g.N; x++ {
+				if adj[[2]int{u, x}] && adj[[2]int{w, x}] {
+					brute++
+				}
+			}
+		}
+	}
+	if got := refTC(g); got != brute {
+		t.Fatalf("refTC = %d, brute force = %d", got, brute)
+	}
+}
+
+func TestRefPRStochastic(t *testing.T) {
+	// After any number of sweeps, scores are positive; with damping 0.85
+	// and contributions only from non-sink vertices, the total is
+	// bounded by 1.
+	g := graph.RMAT(8, 8, 16, false)
+	score := refPR(g, 5)
+	sum := 0.0
+	for v, s := range score {
+		if s <= 0 {
+			t.Fatalf("score[%d] = %f", v, s)
+		}
+		sum += s
+	}
+	if sum > 1.0001 {
+		t.Fatalf("score mass %f exceeds 1", sum)
+	}
+}
+
+func TestSpecNormalize(t *testing.T) {
+	s, err := Spec{Kernel: "bfs"}.Normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Scale == 0 || s.Degree != 16 || s.Threads != 1 || s.Seed != 1 {
+		t.Fatalf("defaults not filled: %+v", s)
+	}
+	if _, err := (Spec{Kernel: "quicksort"}).Normalize(); err == nil {
+		t.Fatal("unknown kernel accepted")
+	}
+	if _, err := (Spec{Kernel: "ms", Mode: SliceInner}).Normalize(); err == nil {
+		t.Fatal("ms inner slicing accepted")
+	}
+}
+
+func TestSliceModeString(t *testing.T) {
+	if SliceNone.String() != "none" || SliceOuter.String() != "outer" ||
+		SliceInner.String() != "inner" {
+		t.Fatal("mode strings")
+	}
+}

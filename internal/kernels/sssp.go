@@ -1,0 +1,147 @@
+package kernels
+
+import (
+	"fmt"
+
+	"repro/internal/isa"
+	"repro/internal/program"
+	"repro/internal/sim"
+)
+
+// buildSSSP constructs single-source shortest paths as frontier-queue
+// Bellman-Ford (SPFA — the relaxation structure of GAP's delta-stepping
+// inner loop): each round, threads relax the edges of the current
+// frontier's vertices; an improvement performs an atomic-min distance
+// update (GAP's CAS-min) and enqueues the target once per round (an
+// atomic claim bitmap suppresses duplicates). The relaxation-improves
+// branch per edge is the hard branch. Inner and outer slicing both apply
+// (§6.1).
+func buildSSSP(spec Spec) *sim.Workload {
+	g := getGraph(spec, true)
+	n := g.N
+	src := sourceVertex(g)
+
+	l := program.NewLayout()
+	offB := l.AllocU32(n+1, g.Offsets)
+	neiB := l.AllocU32(len(g.Neigh), g.Neigh)
+	wgtB := l.AllocU32(len(g.Weights), g.Weights)
+	distInit := make([]uint32, n)
+	for i := range distInit {
+		distInit[i] = inf32
+	}
+	distInit[src] = 0
+	distB := l.AllocU32(n, distInit)
+	qAB := l.AllocU32(n, []uint32{uint32(src)})
+	qBB := l.AllocU32(n, nil)
+	cntAB := l.AllocU32(16, []uint32{1})
+	cntBB := l.AllocU32(16, nil)
+	bmB := l.AllocU32(n, nil) // per-round enqueue-claim bitmap
+
+	outer := spec.Mode == SliceOuter
+	inner := spec.Mode == SliceInner
+	progs := make([]*isa.Program, spec.Threads)
+	for t := 0; t < spec.Threads; t++ {
+		vlo, vhi := chunk(n, spec.Threads, t)
+		b := program.NewBuilder(fmt.Sprintf("sssp-t%d", t))
+		rOff, rNei, rWgt, rDist := b.Reg(), b.Reg(), b.Reg(), b.Reg()
+		rCurQ, rNxtQ, rCntCur, rCntNxt, rBm := b.Reg(), b.Reg(), b.Reg(), b.Reg(), b.Reg()
+		rOne := b.Reg()
+		rQI, rQEnd, rV, rE, rEEnd := b.Reg(), b.Reg(), b.Reg(), b.Reg(), b.Reg()
+		rW, rWt, rDv, rOld, rNd, rT := b.Reg(), b.Reg(), b.Reg(), b.Reg(), b.Reg(), b.Reg()
+
+		b.Li(rOff, int64(offB))
+		b.Li(rNei, int64(neiB))
+		b.Li(rWgt, int64(wgtB))
+		b.Li(rDist, int64(distB))
+		b.Li(rCurQ, int64(qAB))
+		b.Li(rNxtQ, int64(qBB))
+		b.Li(rCntCur, int64(cntAB))
+		b.Li(rCntNxt, int64(cntBB))
+		b.Li(rBm, int64(bmB))
+		b.Li(rOne, 1)
+
+		b.Label("round")
+		b.Barrier()
+		if t == 0 {
+			b.St32(rCntNxt, 0, isa.R0)
+		}
+		// Clear this thread's chunk of the claim bitmap.
+		b.Li(rV, int64(vlo))
+		b.Li(rT, int64(vhi))
+		b.Bge(rV, rT, "clearDone")
+		b.Label("clear")
+		b.StX32(rBm, rV, 2, isa.R0)
+		b.AddI(rV, rV, 1)
+		b.Blt(rV, rT, "clear")
+		b.Label("clearDone")
+		b.Barrier()
+
+		// This thread's chunk of the frontier queue.
+		b.Ld32(rT, rCntCur, 0)
+		b.MulI(rQI, rT, int64(t))
+		b.Li(rQEnd, int64(spec.Threads))
+		b.Div(rQI, rQI, rQEnd)
+		b.MulI(rQEnd, rT, int64(t)+1)
+		b.Li(rT, int64(spec.Threads))
+		b.Div(rQEnd, rQEnd, rT)
+		b.Bge(rQI, rQEnd, "scanDone")
+
+		b.Label("scan")
+		b.LdX32(rV, rCurQ, rQI, 2)
+		b.SliceStart(outer)
+		b.LdX32(rDv, rDist, rV, 2)
+		b.LdX32(rE, rOff, rV, 2)
+		b.AddI(rT, rV, 1)
+		b.LdX32(rEEnd, rOff, rT, 2)
+		b.Bge(rE, rEEnd, "skipV")
+		b.Label("edge")
+		b.SliceStart(inner)
+		b.LdX32(rW, rNei, rE, 2)
+		b.LdX32(rWt, rWgt, rE, 2)
+		b.Add(rNd, rDv, rWt)
+		b.LdX32(rOld, rDist, rW, 2)
+		b.Bgeu(rNd, rOld, "skipE") // relaxation test: the hard branch
+		b.AMinX32(rT, rDist, rW, 2, rNd)
+		// Claim w for this round's next frontier (once).
+		b.AAddX32(rT, rBm, rW, 2, rOne)
+		b.Bne(rT, isa.R0, "skipE")
+		b.AAdd32(rT, rCntNxt, 0, rOne)
+		b.StX32(rNxtQ, rT, 2, rW)
+		b.Label("skipE")
+		b.SliceEnd(inner)
+		b.AddI(rE, rE, 1)
+		b.Blt(rE, rEEnd, "edge")
+		b.Label("skipV")
+		b.SliceEnd(outer)
+		b.AddI(rQI, rQI, 1)
+		b.Blt(rQI, rQEnd, "scan")
+		b.Label("scanDone")
+		b.SliceFence(spec.Mode != SliceNone)
+		b.Barrier()
+		b.Ld32(rT, rCntNxt, 0)
+		b.Mov(rOld, rCurQ)
+		b.Mov(rCurQ, rNxtQ)
+		b.Mov(rNxtQ, rOld)
+		b.Mov(rOld, rCntCur)
+		b.Mov(rCntCur, rCntNxt)
+		b.Mov(rCntNxt, rOld)
+		b.Bne(rT, isa.R0, "round")
+		b.Halt()
+		progs[t] = b.Build()
+	}
+
+	want := refSSSP(g, src)
+	return &sim.Workload{
+		Name:  fmt.Sprintf("sssp-s%d-%s", spec.Scale, spec.Mode),
+		Progs: progs,
+		Mem:   l.Image(),
+		Check: func(mem []byte) error {
+			for v := 0; v < n; v++ {
+				if got := program.ReadU32(mem, distB+uint64(v)*4); got != want[v] {
+					return fmt.Errorf("sssp: dist[%d] = %d, want %d", v, got, want[v])
+				}
+			}
+			return nil
+		},
+	}
+}

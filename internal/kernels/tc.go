@@ -1,0 +1,111 @@
+package kernels
+
+import (
+	"fmt"
+
+	"repro/internal/isa"
+	"repro/internal/program"
+	"repro/internal/sim"
+)
+
+// buildTC constructs triangle counting over the ordered adjacency lists:
+// for every edge (u,w) with w > u, a sorted merge-intersection counts
+// common neighbors above w, so each triangle u<w<x is counted once. The
+// merge comparisons are the unpredictable branches. Only the outer loop is
+// sliceable (§6.1: tc inner iterations break out of the loop). The count
+// accumulator carries the reduce prefix in sliced builds (§4.5).
+func buildTC(spec Spec) *sim.Workload {
+	g := getGraph(spec, false)
+	n := g.N
+
+	l := program.NewLayout()
+	offB := l.AllocU32(n+1, g.Offsets)
+	neiB := l.AllocU32(len(g.Neigh), g.Neigh)
+	slotsB := l.AllocU64(spec.Threads, nil) // per-thread counts
+
+	sliced := spec.Mode == SliceOuter
+	progs := make([]*isa.Program, spec.Threads)
+	for t := 0; t < spec.Threads; t++ {
+		lo, hi := chunk(n, spec.Threads, t)
+		b := program.NewBuilder(fmt.Sprintf("tc-t%d", t))
+		rOff, rNei, rSlots := b.Reg(), b.Reg(), b.Reg()
+		rU, rUEnd, rE, rEEnd := b.Reg(), b.Reg(), b.Reg(), b.Reg()
+		rW, rI, rIEnd, rJ, rJEnd := b.Reg(), b.Reg(), b.Reg(), b.Reg(), b.Reg()
+		rA, rB, rCount, rT := b.Reg(), b.Reg(), b.Reg(), b.Reg()
+
+		b.Li(rOff, int64(offB))
+		b.Li(rNei, int64(neiB))
+		b.Li(rSlots, int64(slotsB))
+		b.Li(rCount, 0)
+		b.Li(rUEnd, int64(hi))
+		b.Li(rU, int64(lo))
+		b.Bge(rU, rUEnd, "done")
+
+		b.Label("uloop")
+		b.SliceStart(sliced)
+		b.LdX32(rE, rOff, rU, 2)
+		b.AddI(rT, rU, 1)
+		b.LdX32(rEEnd, rOff, rT, 2)
+		b.Bge(rE, rEEnd, "skipU")
+		b.Label("eloop")
+		b.LdX32(rW, rNei, rE, 2)
+		// Only count (u,w) pairs with w > u.
+		b.Bgeu(rU, rW, "skipE")
+		b.Mov(rI, rE) // neighbors of u below e are ≤ w; start at e
+		b.Mov(rIEnd, rEEnd)
+		b.LdX32(rJ, rOff, rW, 2)
+		b.AddI(rT, rW, 1)
+		b.LdX32(rJEnd, rOff, rT, 2)
+		b.Label("merge")
+		b.Bge(rI, rIEnd, "skipE")
+		b.Bge(rJ, rJEnd, "skipE")
+		b.LdX32(rA, rNei, rI, 2)
+		b.LdX32(rB, rNei, rJ, 2)
+		b.Bgeu(rW, rA, "incI") // a <= w: not above the pivot yet
+		b.Bgeu(rW, rB, "incJ")
+		b.Bltu(rA, rB, "incI")
+		b.Bltu(rB, rA, "incJ")
+		if sliced {
+			b.Reduce()
+		}
+		b.AddI(rCount, rCount, 1)
+		b.AddI(rI, rI, 1)
+		b.AddI(rJ, rJ, 1)
+		b.Jmp("merge")
+		b.Label("incI")
+		b.AddI(rI, rI, 1)
+		b.Jmp("merge")
+		b.Label("incJ")
+		b.AddI(rJ, rJ, 1)
+		b.Jmp("merge")
+		b.Label("skipE")
+		b.AddI(rE, rE, 1)
+		b.Blt(rE, rEEnd, "eloop")
+		b.Label("skipU")
+		b.SliceEnd(sliced)
+		b.AddI(rU, rU, 1)
+		b.Blt(rU, rUEnd, "uloop")
+		b.Label("done")
+		b.SliceFence(sliced)
+		b.St64(rSlots, int64(t)*8, rCount)
+		b.Halt()
+		progs[t] = b.Build()
+	}
+
+	want := refTC(g)
+	return &sim.Workload{
+		Name:  fmt.Sprintf("tc-s%d-%s", spec.Scale, spec.Mode),
+		Progs: progs,
+		Mem:   l.Image(),
+		Check: func(mem []byte) error {
+			var got uint64
+			for t := 0; t < spec.Threads; t++ {
+				got += program.ReadU64(mem, slotsB+uint64(t)*8)
+			}
+			if got != want {
+				return fmt.Errorf("tc: count = %d, want %d", got, want)
+			}
+			return nil
+		},
+	}
+}

@@ -1,0 +1,306 @@
+// Package program provides an assembler-style builder DSL for writing
+// kernels in the virtual ISA, with labels, forward references, register
+// allocation helpers, and a data-segment layout helper.
+package program
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/isa"
+)
+
+// Builder accumulates instructions and resolves labels into an
+// isa.Program. Methods panic on misuse (unknown labels, register
+// exhaustion): kernels are built once at startup, and a panic with a clear
+// message is the most useful failure mode for a hand-written program.
+type Builder struct {
+	name    string
+	code    []isa.Inst
+	labels  map[string]int
+	fixups  []fixup // unresolved forward references
+	nextReg isa.Reg
+	reduce  bool // apply FlagReduce to the next emitted instruction
+}
+
+type fixup struct {
+	pc    int
+	label string
+}
+
+// NewBuilder returns a Builder for a program with the given name.
+// Registers allocated with Reg() start at r1 (r0 is the zero register).
+func NewBuilder(name string) *Builder {
+	return &Builder{
+		name:    name,
+		labels:  make(map[string]int),
+		nextReg: 1,
+	}
+}
+
+// Reg allocates a fresh architectural register. It panics when the 31
+// allocatable registers are exhausted.
+func (b *Builder) Reg() isa.Reg {
+	if b.nextReg >= isa.NumRegs {
+		panic(fmt.Sprintf("program %s: out of registers", b.name))
+	}
+	r := b.nextReg
+	b.nextReg++
+	return r
+}
+
+// Regs allocates n fresh registers.
+func (b *Builder) Regs(n int) []isa.Reg {
+	rs := make([]isa.Reg, n)
+	for i := range rs {
+		rs[i] = b.Reg()
+	}
+	return rs
+}
+
+// Label defines label name at the current position. Redefinition panics.
+func (b *Builder) Label(name string) {
+	if _, dup := b.labels[name]; dup {
+		panic(fmt.Sprintf("program %s: duplicate label %q", b.name, name))
+	}
+	b.labels[name] = len(b.code)
+}
+
+// PC returns the index the next emitted instruction will occupy.
+func (b *Builder) PC() int { return len(b.code) }
+
+func (b *Builder) emit(in isa.Inst) {
+	if b.reduce {
+		in.Flags |= isa.FlagReduce
+		b.reduce = false
+	}
+	b.code = append(b.code, in)
+}
+
+func (b *Builder) emitBranch(op isa.Op, s1, s2 isa.Reg, label string) {
+	b.emit(isa.Inst{Op: op, Src1: s1, Src2: s2, Imm: -1})
+	b.fixups = append(b.fixups, fixup{pc: len(b.code) - 1, label: label})
+}
+
+// Reduce marks the next emitted instruction with the reduce prefix
+// (paper §4.5). Usage: b.Reduce().Add(acc, acc, x).
+func (b *Builder) Reduce() *Builder {
+	b.reduce = true
+	return b
+}
+
+// --- integer register-register ---
+
+func (b *Builder) Add(d, s1, s2 isa.Reg) { b.emit(isa.Inst{Op: isa.Add, Dst: d, Src1: s1, Src2: s2}) }
+func (b *Builder) Sub(d, s1, s2 isa.Reg) { b.emit(isa.Inst{Op: isa.Sub, Dst: d, Src1: s1, Src2: s2}) }
+func (b *Builder) Mul(d, s1, s2 isa.Reg) { b.emit(isa.Inst{Op: isa.Mul, Dst: d, Src1: s1, Src2: s2}) }
+func (b *Builder) Div(d, s1, s2 isa.Reg) { b.emit(isa.Inst{Op: isa.Div, Dst: d, Src1: s1, Src2: s2}) }
+func (b *Builder) Rem(d, s1, s2 isa.Reg) { b.emit(isa.Inst{Op: isa.Rem, Dst: d, Src1: s1, Src2: s2}) }
+func (b *Builder) And(d, s1, s2 isa.Reg) { b.emit(isa.Inst{Op: isa.And, Dst: d, Src1: s1, Src2: s2}) }
+func (b *Builder) Or(d, s1, s2 isa.Reg)  { b.emit(isa.Inst{Op: isa.Or, Dst: d, Src1: s1, Src2: s2}) }
+func (b *Builder) Xor(d, s1, s2 isa.Reg) { b.emit(isa.Inst{Op: isa.Xor, Dst: d, Src1: s1, Src2: s2}) }
+func (b *Builder) Shl(d, s1, s2 isa.Reg) { b.emit(isa.Inst{Op: isa.Shl, Dst: d, Src1: s1, Src2: s2}) }
+func (b *Builder) Shr(d, s1, s2 isa.Reg) { b.emit(isa.Inst{Op: isa.Shr, Dst: d, Src1: s1, Src2: s2}) }
+func (b *Builder) Sra(d, s1, s2 isa.Reg) { b.emit(isa.Inst{Op: isa.Sra, Dst: d, Src1: s1, Src2: s2}) }
+func (b *Builder) Min(d, s1, s2 isa.Reg) { b.emit(isa.Inst{Op: isa.Min, Dst: d, Src1: s1, Src2: s2}) }
+func (b *Builder) Max(d, s1, s2 isa.Reg) { b.emit(isa.Inst{Op: isa.Max, Dst: d, Src1: s1, Src2: s2}) }
+
+// --- integer register-immediate ---
+
+func (b *Builder) AddI(d, s1 isa.Reg, imm int64) {
+	b.emit(isa.Inst{Op: isa.AddI, Dst: d, Src1: s1, Imm: imm})
+}
+func (b *Builder) AndI(d, s1 isa.Reg, imm int64) {
+	b.emit(isa.Inst{Op: isa.AndI, Dst: d, Src1: s1, Imm: imm})
+}
+func (b *Builder) OrI(d, s1 isa.Reg, imm int64) {
+	b.emit(isa.Inst{Op: isa.OrI, Dst: d, Src1: s1, Imm: imm})
+}
+func (b *Builder) XorI(d, s1 isa.Reg, imm int64) {
+	b.emit(isa.Inst{Op: isa.XorI, Dst: d, Src1: s1, Imm: imm})
+}
+func (b *Builder) ShlI(d, s1 isa.Reg, imm int64) {
+	b.emit(isa.Inst{Op: isa.ShlI, Dst: d, Src1: s1, Imm: imm})
+}
+func (b *Builder) ShrI(d, s1 isa.Reg, imm int64) {
+	b.emit(isa.Inst{Op: isa.ShrI, Dst: d, Src1: s1, Imm: imm})
+}
+func (b *Builder) MulI(d, s1 isa.Reg, imm int64) {
+	b.emit(isa.Inst{Op: isa.MulI, Dst: d, Src1: s1, Imm: imm})
+}
+
+// --- data movement ---
+
+func (b *Builder) Li(d isa.Reg, imm int64) { b.emit(isa.Inst{Op: isa.Li, Dst: d, Imm: imm}) }
+func (b *Builder) Mov(d, s isa.Reg)        { b.emit(isa.Inst{Op: isa.Mov, Dst: d, Src1: s}) }
+
+// LiF loads a float64 immediate (as raw bits) into d.
+func (b *Builder) LiF(d isa.Reg, v float64) { b.Li(d, int64(f64bits(v))) }
+
+// --- float ---
+
+func (b *Builder) FAdd(d, s1, s2 isa.Reg) { b.emit(isa.Inst{Op: isa.FAdd, Dst: d, Src1: s1, Src2: s2}) }
+func (b *Builder) FSub(d, s1, s2 isa.Reg) { b.emit(isa.Inst{Op: isa.FSub, Dst: d, Src1: s1, Src2: s2}) }
+func (b *Builder) FMul(d, s1, s2 isa.Reg) { b.emit(isa.Inst{Op: isa.FMul, Dst: d, Src1: s1, Src2: s2}) }
+func (b *Builder) FDiv(d, s1, s2 isa.Reg) { b.emit(isa.Inst{Op: isa.FDiv, Dst: d, Src1: s1, Src2: s2}) }
+func (b *Builder) FAbs(d, s isa.Reg)      { b.emit(isa.Inst{Op: isa.FAbs, Dst: d, Src1: s}) }
+func (b *Builder) FMax(d, s1, s2 isa.Reg) { b.emit(isa.Inst{Op: isa.FMax, Dst: d, Src1: s1, Src2: s2}) }
+func (b *Builder) CvtIF(d, s isa.Reg)     { b.emit(isa.Inst{Op: isa.CvtIF, Dst: d, Src1: s}) }
+func (b *Builder) CvtFI(d, s isa.Reg)     { b.emit(isa.Inst{Op: isa.CvtFI, Dst: d, Src1: s}) }
+
+// --- memory ---
+
+// Ld64 loads 8 bytes from [base+off] into d.
+func (b *Builder) Ld64(d, base isa.Reg, off int64) {
+	b.emit(isa.Inst{Op: isa.Ld64, Dst: d, Src1: base, Imm: off})
+}
+
+// Ld32 loads 4 bytes zero-extended from [base+off] into d.
+func (b *Builder) Ld32(d, base isa.Reg, off int64) {
+	b.emit(isa.Inst{Op: isa.Ld32, Dst: d, Src1: base, Imm: off})
+}
+
+// St64 stores 8 bytes of val to [base+off].
+func (b *Builder) St64(base isa.Reg, off int64, val isa.Reg) {
+	b.emit(isa.Inst{Op: isa.St64, Src1: base, Imm: off, Val: val})
+}
+
+// St32 stores the low 4 bytes of val to [base+off].
+func (b *Builder) St32(base isa.Reg, off int64, val isa.Reg) {
+	b.emit(isa.Inst{Op: isa.St32, Src1: base, Imm: off, Val: val})
+}
+
+// LdX64 loads 8 bytes from [base + (idx<<scale)] into d.
+func (b *Builder) LdX64(d, base, idx isa.Reg, scale int64) {
+	b.emit(isa.Inst{Op: isa.LdX64, Dst: d, Src1: base, Src2: idx, Imm: scale})
+}
+
+// LdX32 loads 4 bytes zero-extended from [base + (idx<<scale)] into d.
+func (b *Builder) LdX32(d, base, idx isa.Reg, scale int64) {
+	b.emit(isa.Inst{Op: isa.LdX32, Dst: d, Src1: base, Src2: idx, Imm: scale})
+}
+
+// StX64 stores 8 bytes of val to [base + (idx<<scale)].
+func (b *Builder) StX64(base, idx isa.Reg, scale int64, val isa.Reg) {
+	b.emit(isa.Inst{Op: isa.StX64, Src1: base, Src2: idx, Imm: scale, Val: val})
+}
+
+// StX32 stores the low 4 bytes of val to [base + (idx<<scale)].
+func (b *Builder) StX32(base, idx isa.Reg, scale int64, val isa.Reg) {
+	b.emit(isa.Inst{Op: isa.StX32, Src1: base, Src2: idx, Imm: scale, Val: val})
+}
+
+// AAdd64 atomically adds val to the 8-byte word at [base+off]; d gets the
+// old value (fetch-and-add).
+func (b *Builder) AAdd64(d, base isa.Reg, off int64, val isa.Reg) {
+	b.emit(isa.Inst{Op: isa.AAdd64, Dst: d, Src1: base, Imm: off, Val: val})
+}
+
+// AAdd32 atomically adds val to the 4-byte word at [base+off]; d gets the
+// old value zero-extended.
+func (b *Builder) AAdd32(d, base isa.Reg, off int64, val isa.Reg) {
+	b.emit(isa.Inst{Op: isa.AAdd32, Dst: d, Src1: base, Imm: off, Val: val})
+}
+
+// AAddX64 atomically adds val to the 8-byte word at [base + (idx<<scale)].
+func (b *Builder) AAddX64(d, base, idx isa.Reg, scale int64, val isa.Reg) {
+	b.emit(isa.Inst{Op: isa.AAddX64, Dst: d, Src1: base, Src2: idx, Imm: scale, Val: val})
+}
+
+// AAddX32 atomically adds val to the 4-byte word at [base + (idx<<scale)].
+func (b *Builder) AAddX32(d, base, idx isa.Reg, scale int64, val isa.Reg) {
+	b.emit(isa.Inst{Op: isa.AAddX32, Dst: d, Src1: base, Src2: idx, Imm: scale, Val: val})
+}
+
+// AMin32 atomically takes the unsigned min of the 4-byte word at
+// [base+off] and val; d gets the old value.
+func (b *Builder) AMin32(d, base isa.Reg, off int64, val isa.Reg) {
+	b.emit(isa.Inst{Op: isa.AMin32, Dst: d, Src1: base, Imm: off, Val: val})
+}
+
+// AMin64 atomically takes the unsigned min of the 8-byte word at
+// [base+off] and val; d gets the old value.
+func (b *Builder) AMin64(d, base isa.Reg, off int64, val isa.Reg) {
+	b.emit(isa.Inst{Op: isa.AMin64, Dst: d, Src1: base, Imm: off, Val: val})
+}
+
+// AMinX32 atomically takes the unsigned min of the 4-byte word at
+// [base + (idx<<scale)] and val; d gets the old value.
+func (b *Builder) AMinX32(d, base, idx isa.Reg, scale int64, val isa.Reg) {
+	b.emit(isa.Inst{Op: isa.AMinX32, Dst: d, Src1: base, Src2: idx, Imm: scale, Val: val})
+}
+
+// AMinX64 atomically takes the unsigned min of the 8-byte word at
+// [base + (idx<<scale)] and val; d gets the old value.
+func (b *Builder) AMinX64(d, base, idx isa.Reg, scale int64, val isa.Reg) {
+	b.emit(isa.Inst{Op: isa.AMinX64, Dst: d, Src1: base, Src2: idx, Imm: scale, Val: val})
+}
+
+// --- control ---
+
+func (b *Builder) Beq(s1, s2 isa.Reg, label string)  { b.emitBranch(isa.Beq, s1, s2, label) }
+func (b *Builder) Bne(s1, s2 isa.Reg, label string)  { b.emitBranch(isa.Bne, s1, s2, label) }
+func (b *Builder) Blt(s1, s2 isa.Reg, label string)  { b.emitBranch(isa.Blt, s1, s2, label) }
+func (b *Builder) Bge(s1, s2 isa.Reg, label string)  { b.emitBranch(isa.Bge, s1, s2, label) }
+func (b *Builder) Bltu(s1, s2 isa.Reg, label string) { b.emitBranch(isa.Bltu, s1, s2, label) }
+func (b *Builder) Bgeu(s1, s2 isa.Reg, label string) { b.emitBranch(isa.Bgeu, s1, s2, label) }
+func (b *Builder) Bflt(s1, s2 isa.Reg, label string) { b.emitBranch(isa.Bflt, s1, s2, label) }
+func (b *Builder) Bfge(s1, s2 isa.Reg, label string) { b.emitBranch(isa.Bfge, s1, s2, label) }
+
+func (b *Builder) Jmp(label string) {
+	b.emit(isa.Inst{Op: isa.Jmp, Imm: -1})
+	b.fixups = append(b.fixups, fixup{pc: len(b.code) - 1, label: label})
+}
+
+// --- slice annotations and misc ---
+
+// SliceStart emits slice_start when enabled is true; otherwise nothing.
+// The enabled flag lets one kernel source build both the annotated and the
+// plain (baseline) binary, as the paper's benchmarks do.
+func (b *Builder) SliceStart(enabled bool) {
+	if enabled {
+		b.emit(isa.Inst{Op: isa.SliceStart})
+	}
+}
+
+// SliceEnd emits slice_end when enabled is true.
+func (b *Builder) SliceEnd(enabled bool) {
+	if enabled {
+		b.emit(isa.Inst{Op: isa.SliceEnd})
+	}
+}
+
+// SliceFence emits slice_fence when enabled is true.
+func (b *Builder) SliceFence(enabled bool) {
+	if enabled {
+		b.emit(isa.Inst{Op: isa.SliceFence})
+	}
+}
+
+func (b *Builder) Nop()     { b.emit(isa.Inst{Op: isa.Nop}) }
+func (b *Builder) Barrier() { b.emit(isa.Inst{Op: isa.Barrier}) }
+func (b *Builder) Halt()    { b.emit(isa.Inst{Op: isa.Halt}) }
+
+// Build resolves all label references, validates the program, and returns
+// it. It panics on unresolved labels or validation failure: these are
+// programming errors in a kernel, not runtime conditions.
+func (b *Builder) Build() *isa.Program {
+	for _, f := range b.fixups {
+		at, ok := b.labels[f.label]
+		if !ok {
+			panic(fmt.Sprintf("program %s: undefined label %q", b.name, f.label))
+		}
+		b.code[f.pc].Imm = int64(at)
+	}
+	labels := make(map[string]int, len(b.labels))
+	for k, v := range b.labels {
+		labels[k] = v
+	}
+	p := &isa.Program{Name: b.name, Code: append([]isa.Inst(nil), b.code...), Labels: labels}
+	if err := isa.Validate(p); err != nil {
+		panic(fmt.Sprintf("program %s: %v", b.name, err))
+	}
+	return p
+}
+
+func f64bits(v float64) uint64 { return math.Float64bits(v) }

@@ -1,0 +1,167 @@
+package program
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/isa"
+)
+
+func TestBuilderLabels(t *testing.T) {
+	b := NewBuilder("t")
+	r := b.Reg()
+	b.Li(r, 3)
+	b.Label("loop")
+	b.AddI(r, r, -1)
+	b.Bne(r, isa.R0, "loop") // backward reference
+	b.Beq(r, isa.R0, "end")  // forward reference
+	b.Nop()
+	b.Label("end")
+	b.Halt()
+	p := b.Build()
+	if p.Labels["loop"] != 1 {
+		t.Fatalf("loop label at %d", p.Labels["loop"])
+	}
+	if got := p.Code[2].Imm; got != 1 {
+		t.Fatalf("backward branch target %d", got)
+	}
+	if got := p.Code[3].Imm; got != int64(p.Labels["end"]) {
+		t.Fatalf("forward branch target %d", got)
+	}
+}
+
+func TestBuilderPanics(t *testing.T) {
+	expectPanic(t, "undefined label", func() {
+		b := NewBuilder("t")
+		b.Jmp("nowhere")
+		b.Halt()
+		b.Build()
+	})
+	expectPanic(t, "duplicate label", func() {
+		b := NewBuilder("t")
+		b.Label("x")
+		b.Label("x")
+	})
+	expectPanic(t, "register exhaustion", func() {
+		b := NewBuilder("t")
+		for i := 0; i < 40; i++ {
+			b.Reg()
+		}
+	})
+	expectPanic(t, "invalid program", func() {
+		b := NewBuilder("t")
+		b.SliceStart(true)
+		b.Halt()
+		b.Build() // unterminated slice
+	})
+}
+
+func expectPanic(t *testing.T, name string, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("%s: no panic", name)
+		}
+	}()
+	f()
+}
+
+func TestSliceDisabledEmitsNothing(t *testing.T) {
+	b := NewBuilder("t")
+	b.SliceStart(false)
+	b.SliceEnd(false)
+	b.SliceFence(false)
+	b.Halt()
+	if p := b.Build(); len(p.Code) != 1 {
+		t.Fatalf("disabled slice markers emitted code: %d instrs", len(p.Code))
+	}
+}
+
+func TestReducePrefix(t *testing.T) {
+	b := NewBuilder("t")
+	r := b.Reg()
+	b.Reduce().AddI(r, r, 1)
+	b.AddI(r, r, 1)
+	b.Halt()
+	p := b.Build()
+	if !p.Code[0].Reduce() {
+		t.Fatal("reduce flag missing")
+	}
+	if p.Code[1].Reduce() {
+		t.Fatal("reduce flag leaked to the next instruction")
+	}
+}
+
+func TestLayoutAlignment(t *testing.T) {
+	l := NewLayout()
+	a := l.Alloc(10)
+	b := l.Alloc(10)
+	if a%64 != 0 || b%64 != 0 {
+		t.Fatalf("allocations not line-aligned: %d %d", a, b)
+	}
+	if b <= a || b-a < 10 {
+		t.Fatalf("overlapping allocations: %d %d", a, b)
+	}
+}
+
+func TestLayoutRoundTrip(t *testing.T) {
+	l := NewLayout()
+	u32 := l.AllocU32(3, []uint32{1, 2, 3})
+	u64 := l.AllocU64(2, []uint64{1 << 40, 7})
+	f64 := l.AllocF64(2, []float64{3.5, -1.25})
+	l.PutU32(u32+8, 99)
+	mem := l.Image()
+	if ReadU32(mem, u32) != 1 || ReadU32(mem, u32+8) != 99 {
+		t.Fatal("u32 round trip")
+	}
+	if ReadU64(mem, u64) != 1<<40 {
+		t.Fatal("u64 round trip")
+	}
+	if ReadF64(mem, f64+8) != -1.25 {
+		t.Fatal("f64 round trip")
+	}
+	if l.Size() != uint64(len(mem)) {
+		t.Fatal("size mismatch")
+	}
+}
+
+// TestLayoutQuick: every allocation region is disjoint and value
+// round-trips hold for arbitrary data.
+func TestLayoutQuick(t *testing.T) {
+	f := func(vals []uint32) bool {
+		if len(vals) == 0 {
+			return true
+		}
+		l := NewLayout()
+		a := l.AllocU32(len(vals), vals)
+		bx := l.AllocU32(len(vals), nil)
+		mem := l.Image()
+		if a+4*uint64(len(vals)) > bx {
+			return false
+		}
+		for i, v := range vals {
+			if ReadU32(mem, a+uint64(i)*4) != v {
+				return false
+			}
+			if ReadU32(mem, bx+uint64(i)*4) != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLiF(t *testing.T) {
+	b := NewBuilder("t")
+	r := b.Reg()
+	b.LiF(r, 2.5)
+	b.Halt()
+	p := b.Build()
+	if math.Float64frombits(uint64(p.Code[0].Imm)) != 2.5 {
+		t.Fatal("LiF bits")
+	}
+}

@@ -1,0 +1,127 @@
+package rob
+
+// Space tracks physical ROB capacity for the block-partitioned linked
+// list (paper §4.3, Fig. 3). With block size 1 (a pure linked list) every
+// entry is individually reusable and Space degenerates to a counter. With
+// larger blocks, selective flushes strand entries:
+//
+//   - the tail of the block holding the last flushed instruction stays
+//     empty until the surrounding block commits (Fig. 3(b)),
+//   - the tail of the last resolved-path block stays empty because its
+//     pointer links back into the original stream (Fig. 3(b)),
+//   - when a mispredicted slice branch and the slice_end share a block,
+//     the dispatcher pads to the block boundary (Fig. 3(d)).
+//
+// Gaps are tagged with the sequence number whose commit reclaims them
+// ("as soon as all instructions in a block with a gap are committed,
+// these gaps can be reclaimed").
+type Space struct {
+	size      int
+	blockSize int
+	used      int // live entries
+	gaps      int // stranded entries
+	pending   []gapTag
+}
+
+type gapTag struct {
+	count      int
+	releaseSeq uint64
+}
+
+// NewSpace returns a capacity tracker for a ROB of size entries divided
+// into blocks of blockSize (1 = unblocked).
+func NewSpace(size, blockSize int) *Space {
+	if blockSize < 1 {
+		blockSize = 1
+	}
+	return &Space{size: size, blockSize: blockSize}
+}
+
+// BlockSize returns the configured block size.
+func (s *Space) BlockSize() int { return s.blockSize }
+
+// Free returns the number of allocatable entries.
+func (s *Space) Free() int { return s.size - s.used - s.gaps }
+
+// Used returns the number of live entries.
+func (s *Space) Used() int { return s.used }
+
+// Gaps returns the number of currently stranded entries.
+func (s *Space) Gaps() int { return s.gaps }
+
+// Alloc takes one entry for a dispatched instruction. It returns false
+// when the ROB is full.
+func (s *Space) Alloc() bool {
+	if s.Free() <= 0 {
+		return false
+	}
+	s.used++
+	return true
+}
+
+// Release returns one entry (commit or flush of an instruction whose
+// block carries no gap).
+func (s *Space) Release() {
+	if s.used <= 0 {
+		panic("rob: Release with no used entries")
+	}
+	s.used--
+}
+
+// blockWaste returns the stranded tail of a run of n entries packed into
+// blocks.
+func (s *Space) blockWaste(n int) int {
+	if s.blockSize <= 1 || n == 0 {
+		return 0
+	}
+	r := n % s.blockSize
+	if r == 0 {
+		return 0
+	}
+	return s.blockSize - r
+}
+
+// FlushGaps records the stranded entries produced by selectively flushing
+// flushLen instructions and later splicing a resolved path of resolveLen
+// instructions, per the Fig. 3 rules. releaseSeq is the sequence number
+// whose commit reclaims the gaps (the end of the affected region).
+// keepFree bounds the stranding so at least that many entries stay
+// allocatable — the §4.7 reservation must survive block padding, or the
+// resolve path deadlocks against its own gaps. It returns the number of
+// entries stranded.
+func (s *Space) FlushGaps(flushLen, resolveLen int, releaseSeq uint64, keepFree int) int {
+	g := s.blockWaste(flushLen) + s.blockWaste(resolveLen)
+	if g == 0 {
+		return 0
+	}
+	// Gaps can strand at most the capacity above the reserved floor.
+	if free := s.Free() - keepFree; g > free {
+		g = free
+	}
+	if g <= 0 {
+		return 0
+	}
+	s.gaps += g
+	s.pending = append(s.pending, gapTag{count: g, releaseSeq: releaseSeq})
+	return g
+}
+
+// CommitSeq reclaims all gaps whose release point is at or before seq.
+func (s *Space) CommitSeq(seq uint64) {
+	live := s.pending[:0]
+	for _, g := range s.pending {
+		if g.releaseSeq <= seq {
+			s.gaps -= g.count
+		} else {
+			live = append(live, g)
+		}
+	}
+	s.pending = live
+}
+
+// ReleaseAllGaps reclaims every gap (conventional full flush discards the
+// affected blocks wholesale).
+func (s *Space) ReleaseAllGaps() {
+	s.gaps = 0
+	s.pending = s.pending[:0]
+}

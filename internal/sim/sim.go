@@ -1,0 +1,268 @@
+// Package sim drives whole-system simulations: it assembles cores, cache
+// hierarchies, and the shared uncore; interleaves cores cycle by cycle;
+// coordinates OpenMP-style barriers across all hardware threads; and
+// collects the statistics the paper's figures report.
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/cache"
+	"repro/internal/core"
+	"repro/internal/emu"
+	"repro/internal/isa"
+	"repro/internal/uncore"
+)
+
+// MemConfig sizes the cache hierarchy. The default (ScaledMemConfig) is
+// the paper's Table 1 hierarchy scaled down ~8× so that the scaled-down
+// input graphs keep the paper's footprint-to-LLC ratio (misses in the LLC
+// at the paper's 45-70% rate); Table1MemConfig is the full-size original.
+type MemConfig struct {
+	L1ISize, L1IWays, L1ILatency int
+	L1DSize, L1DWays, L1DLatency int
+	L2Size, L2Ways, L2Latency    int
+	MSHRs                        int
+
+	Uncore uncore.Config
+
+	// Prefetchers: a stride prefetcher at L1D and a next-line
+	// prefetcher at L2 (the paper's Fig. 7 discussion references the
+	// data prefetcher).
+	StridePrefetch   bool
+	NextLinePrefetch bool
+}
+
+// Table1MemConfig is the full-size hierarchy of the paper's Table 1,
+// shared resources scaled to the given core count as §5.2 prescribes.
+func Table1MemConfig(cores int) MemConfig {
+	return MemConfig{
+		L1ISize: 32 << 10, L1IWays: 8, L1ILatency: 1,
+		L1DSize: 32 << 10, L1DWays: 8, L1DLatency: 4,
+		L2Size: 1 << 20, L2Ways: 16, L2Latency: 14,
+		MSHRs: 10,
+		Uncore: uncore.Config{
+			Cores:            cores,
+			LLCPerCore:       1408 << 10, // 1.375 MB
+			LLCWays:          11,
+			LLCLatency:       30,
+			MeshHopLatency:   2,
+			MemLatency:       150,                        // ≈50 ns at 3 GHz
+			MemBytesPerCycle: 38.4 / 28 * float64(cores), // 115.2 GB/s at 3 GHz, per §5.2 scaling
+			LLCMSHRs:         32 * cores,
+		},
+		StridePrefetch:   true,
+		NextLinePrefetch: true,
+	}
+}
+
+// ScaledMemConfig shrinks the hierarchy so that the scaled-down benchmark
+// inputs exercise the paper's regime — per-vertex property arrays larger
+// than the LLC (45-70% LLC miss rate on the indirect accesses), memory
+// latency-bound rather than bandwidth-bound (DRAM bus under ~40% busy).
+// See DESIGN.md's calibration notes.
+func ScaledMemConfig(cores int) MemConfig {
+	m := Table1MemConfig(cores)
+	m.L1ISize = 8 << 10
+	m.L1DSize = 4 << 10
+	m.L2Size = 8 << 10
+	m.L2Ways = 8
+	m.Uncore.LLCPerCore = 16 << 10
+	m.Uncore.LLCWays = 8
+	m.Uncore.MemBytesPerCycle = 8 * float64(cores)
+	return m
+}
+
+// Config is a whole-system configuration.
+type Config struct {
+	Core  core.Config
+	Mem   MemConfig
+	Cores int
+	// MaxCycles aborts runaway simulations.
+	MaxCycles int64
+	// CheckIndependence turns on the emulator's slice-discipline
+	// checker (slower; for tests).
+	CheckIndependence bool
+}
+
+// DefaultConfig is a single-core scaled configuration.
+func DefaultConfig() Config {
+	return Config{
+		Core:      core.DefaultConfig(),
+		Mem:       ScaledMemConfig(1),
+		Cores:     1,
+		MaxCycles: 2_000_000_000,
+	}
+}
+
+// Workload is a runnable program set: one program per hardware thread
+// (cores × SMT), sharing one memory image.
+type Workload struct {
+	Name string
+	// Progs has one program per hardware thread. With a single entry
+	// and multiple threads, the entry is shared (every thread runs the
+	// same code — only correct if the program partitions work by
+	// thread itself, which our kernels do via distinct programs
+	// instead; see internal/kernels).
+	Progs []*isa.Program
+	Mem   []byte
+	// Check validates the final memory image against a host-computed
+	// reference (optional).
+	Check func(mem []byte) error
+}
+
+// Result carries per-core and aggregate statistics.
+type Result struct {
+	Cycles  int64
+	Total   core.Stats
+	PerCore []core.Stats
+	// CacheStats snapshots selected hierarchy counters.
+	L1DMissRate float64
+	LLCMissRate float64
+	L2MissRate  float64
+	// DRAMLines counts memory line transfers; DRAMBusy is the fraction
+	// of total cycles the memory bus was transferring.
+	DRAMLines uint64
+	DRAMBusy  float64
+	// Access counts per level (demand accesses, first core's private
+	// levels; LLC is shared).
+	L1DAccesses uint64
+	L2Accesses  uint64
+	LLCAccesses uint64
+}
+
+// Run simulates the workload to completion and returns statistics.
+func Run(cfg Config, w *Workload) (*Result, error) {
+	threadsTotal := cfg.Cores * cfg.Core.SMT
+	if len(w.Progs) != threadsTotal {
+		return nil, fmt.Errorf("sim: workload %s has %d programs for %d hardware threads",
+			w.Name, len(w.Progs), threadsTotal)
+	}
+
+	llc, dram := uncore.Build(cfg.Mem.Uncore)
+	hc := cache.HierConfig{
+		L1I: cache.Config{Name: "l1i", SizeBytes: cfg.Mem.L1ISize, Ways: cfg.Mem.L1IWays,
+			HitLatency: cfg.Mem.L1ILatency, MSHRs: cfg.Mem.MSHRs},
+		L1D: cache.Config{Name: "l1d", SizeBytes: cfg.Mem.L1DSize, Ways: cfg.Mem.L1DWays,
+			HitLatency: cfg.Mem.L1DLatency, MSHRs: cfg.Mem.MSHRs,
+			StridePrefetch: cfg.Mem.StridePrefetch},
+		L2: cache.Config{Name: "l2", SizeBytes: cfg.Mem.L2Size, Ways: cfg.Mem.L2Ways,
+			HitLatency: cfg.Mem.L2Latency, MSHRs: 2 * cfg.Mem.MSHRs,
+			NextLinePrefetch: cfg.Mem.NextLinePrefetch},
+	}
+
+	// All machines share the workload's memory image.
+	mem := w.Mem
+	cores := make([]*core.Core, cfg.Cores)
+	hiers := make([]*cache.Hierarchy, cfg.Cores)
+	ti := 0
+	for i := range cores {
+		machines := make([]*emu.Machine, cfg.Core.SMT)
+		for j := range machines {
+			m := emu.New(w.Progs[ti], mem)
+			m.CheckIndependence = cfg.CheckIndependence
+			machines[j] = m
+			ti++
+		}
+		hiers[i] = cache.NewHierarchy(hc, llc, dram)
+		c, err := core.NewCore(i, cfg.Core, hiers[i], machines)
+		if err != nil {
+			return nil, err
+		}
+		cores[i] = c
+	}
+
+	maxCycles := cfg.MaxCycles
+	if maxCycles <= 0 {
+		maxCycles = 2_000_000_000
+	}
+
+	var now int64
+	lastCommit, lastCommitCycle := uint64(0), int64(0)
+	for {
+		now++
+		if now > maxCycles {
+			return nil, fmt.Errorf("sim: workload %s exceeded %d cycles", w.Name, maxCycles)
+		}
+		// Deadlock watchdog: no commit anywhere for a long time.
+		var committed uint64
+		for _, c := range cores {
+			committed += c.Stats().Committed
+		}
+		if committed != lastCommit {
+			lastCommit, lastCommitCycle = committed, now
+		} else if now-lastCommitCycle > 1_000_000 {
+			var dump string
+			for _, c := range cores {
+				if !c.Done() {
+					dump += c.DumpState()
+				}
+			}
+			return nil, fmt.Errorf("sim: workload %s deadlocked at cycle %d:\n%s", w.Name, now, dump)
+		}
+		done := true
+		for _, c := range cores {
+			if !c.Done() {
+				c.Cycle(now)
+				done = false
+			}
+		}
+		if done {
+			break
+		}
+		releaseBarriers(cores)
+	}
+
+	if w.Check != nil {
+		if err := w.Check(mem); err != nil {
+			return nil, fmt.Errorf("sim: workload %s output check failed: %w", w.Name, err)
+		}
+	}
+
+	res := &Result{Cycles: now}
+	for _, c := range cores {
+		s := *c.Stats()
+		res.PerCore = append(res.PerCore, s)
+		res.Total.Add(&s)
+	}
+	res.Total.Cycles = now
+	res.L1DMissRate = hiers[0].L1D.Stats().MissRate()
+	res.L2MissRate = hiers[0].L2.Stats().MissRate()
+	res.LLCMissRate = llc.Stats().MissRate()
+	for _, h := range hiers {
+		res.L1DAccesses += h.L1D.Stats().Accesses
+		res.L2Accesses += h.L2.Stats().Accesses
+	}
+	res.LLCAccesses = llc.Stats().Accesses
+	res.DRAMLines = dram.Accesses()
+	res.DRAMBusy = float64(dram.Accesses()) * dram.CyclesPerLine / float64(now)
+	return res, nil
+}
+
+// releaseBarriers implements the global OpenMP barrier: when every
+// unfinished hardware thread is waiting at its barrier, release them all.
+func releaseBarriers(cores []*core.Core) {
+	waiting := 0
+	live := 0
+	for _, c := range cores {
+		for i := 0; i < c.Threads(); i++ {
+			if c.ThreadDone(i) {
+				continue
+			}
+			live++
+			if c.BarrierWaiting(i) {
+				waiting++
+			}
+		}
+	}
+	if live == 0 || waiting != live {
+		return
+	}
+	for _, c := range cores {
+		for i := 0; i < c.Threads(); i++ {
+			if !c.ThreadDone(i) {
+				c.ReleaseBarrier(i)
+			}
+		}
+	}
+}

@@ -1,0 +1,89 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestHarmonicMean(t *testing.T) {
+	if hm := HarmonicMeanSpeedup([]float64{1, 1, 1}); hm != 1 {
+		t.Fatalf("hm of ones = %f", hm)
+	}
+	if hm := HarmonicMeanSpeedup([]float64{2, 2}); math.Abs(hm-2) > 1e-12 {
+		t.Fatalf("hm = %f", hm)
+	}
+	// Harmonic mean of {1,2} is 4/3.
+	if hm := HarmonicMeanSpeedup([]float64{1, 2}); math.Abs(hm-4.0/3) > 1e-12 {
+		t.Fatalf("hm = %f", hm)
+	}
+	if HarmonicMeanSpeedup(nil) != 0 || HarmonicMeanSpeedup([]float64{0}) != 0 {
+		t.Fatal("degenerate inputs")
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	if gm := GeoMean([]float64{2, 8}); math.Abs(gm-4) > 1e-12 {
+		t.Fatalf("gm = %f", gm)
+	}
+	if GeoMean(nil) != 0 || GeoMean([]float64{-1}) != 0 {
+		t.Fatal("degenerate inputs")
+	}
+}
+
+// Harmonic mean never exceeds geometric mean (AM-GM-HM chain).
+func TestMeanOrderingQuick(t *testing.T) {
+	f := func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		for i, r := range raw {
+			xs[i] = 0.1 + float64(r)/1000
+		}
+		return HarmonicMeanSpeedup(xs) <= GeoMean(xs)+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTable(t *testing.T) {
+	tb := NewTable("name", "value")
+	tb.AddRow("alpha", 1.5)
+	tb.AddRow("b", 42)
+	out := tb.String()
+	if !strings.Contains(out, "alpha") || !strings.Contains(out, "1.500") ||
+		!strings.Contains(out, "42") {
+		t.Fatalf("table output missing data:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 { // header, separator, 2 rows
+		t.Fatalf("got %d lines", len(lines))
+	}
+	// Columns align: every line has the same prefix width for column 2.
+	col2 := strings.Index(lines[0], "value")
+	for _, ln := range lines[2:] {
+		if len(ln) < col2 {
+			t.Fatalf("misaligned row %q", ln)
+		}
+	}
+}
+
+func TestSeries(t *testing.T) {
+	var s Series
+	s.Add("a", 1)
+	s.Add("b", 2)
+	if len(s.Labels) != 2 || s.Values[1] != 2 {
+		t.Fatal("series add")
+	}
+}
+
+func TestSortedKeys(t *testing.T) {
+	m := map[string]int{"b": 1, "a": 2, "c": 3}
+	keys := SortedKeys(m)
+	if keys[0] != "a" || keys[1] != "b" || keys[2] != "c" {
+		t.Fatalf("keys = %v", keys)
+	}
+}
