@@ -17,6 +17,7 @@ package blp
 
 import (
 	"fmt"
+	"math"
 	"os"
 
 	"repro/internal/core"
@@ -41,9 +42,19 @@ var Benchmarks = kernels.Names
 // InnerSliceable reports whether a benchmark supports inner-loop slicing.
 func InnerSliceable(benchmark string) bool { return kernels.InnerSliceable(benchmark) }
 
+// Zero marks an integer Options field as explicitly zero. Fields whose
+// zero value means "use the default" (Reserve, ROBBlockSize, FRQSize,
+// PRIters) accept Zero to request an actual 0 — e.g. a zero-reserve
+// baseline or a zero-depth-FRQ ablation — which a literal 0 cannot
+// express. Structurally impossible zeros (Reserve under selective
+// flush, ROBBlockSize) fail validation with a clear error instead of
+// silently running the default.
+const Zero = -1
+
 // Options configures one simulation run. The zero value of most fields
 // selects the paper's defaults (Table 1 core, scaled memory hierarchy,
-// single core, TAGE).
+// single core, TAGE). Integer fields documented with "Zero for an
+// explicit 0" follow the Zero sentinel convention above.
 type Options struct {
 	// Benchmark is one of Benchmarks ("bc", "bfs", "cc", "pr", "sssp",
 	// "tc", "ms").
@@ -68,12 +79,21 @@ type Options struct {
 	// Predictor overrides the direction predictor ("tage" default;
 	// "oracle" gives the perfect-prediction bars of Figs. 4 and 11).
 	Predictor string
-	// Reserve overrides the §4.7 resource reservation (default 8).
+	// Reserve overrides the §4.7 resource reservation (0 = default 8;
+	// Zero for an explicit 0, i.e. no entries reserved). An explicit 0
+	// is accepted for baseline runs; combined with slicing the core
+	// rejects it with a §4.7 forward-progress error, because a
+	// reservation-free selective-flush machine architecturally
+	// deadlocks (resolve paths starve behind a packed window).
 	Reserve int
 	// ROBBlockSize overrides the blocked linked-list ROB block size
-	// (default 1; Fig. 8 sweeps 1..16).
+	// (0 = default 1; Fig. 8 sweeps 1..16). Zero requests an explicit 0,
+	// which the core rejects as structurally invalid — the sentinel is
+	// accepted for uniformity and yields a clear validation error.
 	ROBBlockSize int
-	// FRQSize overrides the fetch redirect queue depth (default 8).
+	// FRQSize overrides the fetch redirect queue depth (0 = default 8;
+	// Zero for an explicit 0: every in-slice miss then falls back to
+	// conventional full-flush recovery).
 	FRQSize int
 
 	// PaperScaleMem uses the full Table 1 memory hierarchy instead of
@@ -87,8 +107,66 @@ type Options struct {
 	// TraceEvents, when positive, prints that many pipeline events
 	// (fetch-miss/dispatch/commit/recovery) to stderr.
 	TraceEvents int64
-	// PRIters is the number of PageRank sweeps (default 3).
+	// PRIters is the number of PageRank sweeps (0 = default 3; Zero for
+	// an explicit 0, leaving every score at its 1/n initial value).
 	PRIters int
+}
+
+// normalized returns o with every defaulted field resolved to its
+// effective value, so that two Options that mean the same simulation
+// compare identically. The Zero sentinel is preserved (it already is
+// unambiguous) and mapped to a literal 0 at the point of use.
+func (o Options) normalized() Options {
+	cc := core.DefaultConfig()
+	if o.Scale == 0 {
+		o.Scale = DefaultScale(o.Benchmark)
+	}
+	if o.Degree == 0 {
+		o.Degree = 16
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.Cores == 0 {
+		o.Cores = 1
+	}
+	if o.SMT == 0 {
+		o.SMT = 1
+	}
+	if o.Predictor == "" {
+		o.Predictor = cc.Predictor
+	}
+	if o.Reserve == 0 {
+		o.Reserve = cc.Reserve
+	}
+	if o.ROBBlockSize == 0 {
+		o.ROBBlockSize = cc.ROBBlockSize
+	}
+	if o.FRQSize == 0 {
+		o.FRQSize = cc.FRQSize
+	}
+	if o.PRIters == 0 {
+		o.PRIters = kernels.DefaultPRIters
+	}
+	return o
+}
+
+// zv maps the Zero sentinel (and any negative value) to a literal 0.
+func zv(v int) int {
+	if v < 0 {
+		return 0
+	}
+	return v
+}
+
+// Key returns the canonical identity of the simulation Run would perform
+// for o: all defaults resolved, output-only fields (TraceEvents) ignored.
+// Two Options with equal Keys produce identical Results; the Runner uses
+// it as its memoization key.
+func (o Options) Key() string {
+	n := o.normalized()
+	n.TraceEvents = 0
+	return fmt.Sprintf("%+v", n)
 }
 
 // Result is the outcome of one run.
@@ -113,34 +191,32 @@ type Result struct {
 	EnergyUseful float64
 }
 
-// Speedup returns base.Cycles / other.Cycles.
+// Speedup returns base.Cycles / other.Cycles. A comparison against a run
+// that recorded no cycles is not a measurement at all, so it yields NaN —
+// never 0, which a caller could mistake for a measured slowdown and which
+// would silently poison stats.HarmonicMeanSpeedup (that mean propagates
+// NaN explicitly).
 func Speedup(base, other *Result) float64 {
 	if other.Cycles == 0 {
-		return 0
+		return math.NaN()
 	}
 	return float64(base.Cycles) / float64(other.Cycles)
 }
 
 // Run builds the requested workload and simulates it to completion,
-// validating the final memory image against the host reference.
+// validating the final memory image against the host reference. Every
+// call simulates afresh; use a Runner for memoized, concurrent execution.
 func Run(o Options) (*Result, error) {
+	n := o.normalized()
 	spec := kernels.Spec{
-		Kernel:  o.Benchmark,
-		Scale:   o.Scale,
-		Degree:  o.Degree,
-		Seed:    o.Seed,
-		Mode:    o.Mode,
-		PRIters: o.PRIters,
+		Kernel:  n.Benchmark,
+		Scale:   n.Scale,
+		Degree:  n.Degree,
+		Seed:    n.Seed,
+		Mode:    n.Mode,
+		PRIters: n.PRIters, // kernels shares the negative-sentinel convention
+		Threads: n.Cores * n.SMT,
 	}
-	cores := o.Cores
-	if cores == 0 {
-		cores = 1
-	}
-	smt := o.SMT
-	if smt == 0 {
-		smt = 1
-	}
-	spec.Threads = cores * smt
 
 	w, err := kernels.Build(spec)
 	if err != nil {
@@ -148,31 +224,23 @@ func Run(o Options) (*Result, error) {
 	}
 
 	cfg := sim.DefaultConfig()
-	cfg.Cores = cores
-	cfg.Core.SMT = smt
-	cfg.Core.SelectiveFlush = o.Mode != SliceNone
-	cfg.Core.WrongPathMemAccess = o.WrongPathMemAccess
-	cfg.CheckIndependence = o.CheckIndependence
-	if o.Predictor != "" {
-		cfg.Core.Predictor = o.Predictor
-	}
-	if o.Reserve != 0 {
-		cfg.Core.Reserve = o.Reserve
-	}
-	if o.ROBBlockSize != 0 {
-		cfg.Core.ROBBlockSize = o.ROBBlockSize
-	}
-	if o.FRQSize != 0 {
-		cfg.Core.FRQSize = o.FRQSize
-	}
-	if o.PaperScaleMem {
-		cfg.Mem = sim.Table1MemConfig(cores)
+	cfg.Cores = n.Cores
+	cfg.Core.SMT = n.SMT
+	cfg.Core.SelectiveFlush = n.Mode != SliceNone
+	cfg.Core.WrongPathMemAccess = n.WrongPathMemAccess
+	cfg.CheckIndependence = n.CheckIndependence
+	cfg.Core.Predictor = n.Predictor
+	cfg.Core.Reserve = zv(n.Reserve)
+	cfg.Core.ROBBlockSize = zv(n.ROBBlockSize)
+	cfg.Core.FRQSize = zv(n.FRQSize)
+	if n.PaperScaleMem {
+		cfg.Mem = sim.Table1MemConfig(n.Cores)
 	} else {
-		cfg.Mem = sim.ScaledMemConfig(cores)
+		cfg.Mem = sim.ScaledMemConfig(n.Cores)
 	}
-	if o.TraceEvents > 0 {
+	if n.TraceEvents > 0 {
 		cfg.Core.Trace = os.Stderr
-		cfg.Core.TraceLimit = o.TraceEvents
+		cfg.Core.TraceLimit = n.TraceEvents
 	}
 
 	r, err := sim.Run(cfg, w)

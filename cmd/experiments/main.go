@@ -1,17 +1,28 @@
 // Command experiments regenerates the paper's tables and figures.
 //
+// Figures run through the parallel memoized harness (blp.Runner): all
+// selected figures share one run cache, so the per-benchmark baselines
+// that Motivation and Figs. 4-9 each re-measure simulate exactly once,
+// and independent simulations execute concurrently up to -jobs workers.
+// Tables are assembled in deterministic order, so the output is
+// byte-identical to a serial (-jobs 1) run.
+//
 // Usage:
 //
-//	experiments                 # everything, default scales
+//	experiments                 # everything, default scales, NumCPU workers
 //	experiments -fig 4          # one figure
 //	experiments -fig 7 -delta -1  # quicker, one scale step smaller
 //	experiments -fig 10 -cores 28 # the paper's full core count
+//	experiments -jobs 1 -quiet  # serial, no progress
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"log"
+	"os"
+	"runtime"
 	"strings"
 	"time"
 
@@ -26,7 +37,14 @@ func main() {
 	delta := flag.Int("delta", 0, "input-scale delta (negative = smaller/faster)")
 	cores := flag.Int("cores", 4, "core count for fig10")
 	sizeDelta := flag.Int("sizedelta", 1, "extra input-scale steps for fig10's multicore runs")
+	jobs := flag.Int("jobs", runtime.NumCPU(), "max concurrent simulations (shared across figures)")
+	quiet := flag.Bool("quiet", false, "suppress the per-run progress line on stderr")
 	flag.Parse()
+
+	r := blp.NewRunner(*jobs)
+	if !*quiet {
+		r.SetProgress(os.Stderr)
+	}
 
 	type exp struct {
 		id  string
@@ -34,15 +52,15 @@ func main() {
 	}
 	all := []exp{
 		{"table1", func() (*blp.Figure, error) { return blp.Table1(), nil }},
-		{"motivation", func() (*blp.Figure, error) { return blp.Motivation(*delta) }},
-		{"4", func() (*blp.Figure, error) { return blp.Fig4(*delta) }},
-		{"5", func() (*blp.Figure, error) { return blp.Fig5(*delta) }},
-		{"6", func() (*blp.Figure, error) { return blp.Fig6(*delta) }},
-		{"7", func() (*blp.Figure, error) { return blp.Fig7(*delta, nil) }},
-		{"8", func() (*blp.Figure, error) { return blp.Fig8(*delta, nil) }},
-		{"9", func() (*blp.Figure, error) { return blp.Fig9(*delta) }},
-		{"10", func() (*blp.Figure, error) { return blp.Fig10(*delta, *cores, *sizeDelta) }},
-		{"11", func() (*blp.Figure, error) { return blp.Fig11(*delta) }},
+		{"motivation", func() (*blp.Figure, error) { return r.Motivation(*delta) }},
+		{"4", func() (*blp.Figure, error) { return r.Fig4(*delta) }},
+		{"5", func() (*blp.Figure, error) { return r.Fig5(*delta) }},
+		{"6", func() (*blp.Figure, error) { return r.Fig6(*delta) }},
+		{"7", func() (*blp.Figure, error) { return r.Fig7(*delta, nil) }},
+		{"8", func() (*blp.Figure, error) { return r.Fig8(*delta, nil) }},
+		{"9", func() (*blp.Figure, error) { return r.Fig9(*delta) }},
+		{"10", func() (*blp.Figure, error) { return r.Fig10(*delta, *cores, *sizeDelta) }},
+		{"11", func() (*blp.Figure, error) { return r.Fig11(*delta) }},
 	}
 
 	want := strings.Split(*fig, ",")
@@ -58,21 +76,53 @@ func main() {
 		return false
 	}
 
-	ran := 0
+	var sel []exp
 	for _, e := range all {
-		if !match(e.id) {
-			continue
+		if match(e.id) {
+			sel = append(sel, e)
 		}
-		ran++
-		start := time.Now()
-		f, err := e.run()
-		if err != nil {
-			log.Fatalf("fig %s: %v", e.id, err)
-		}
-		fmt.Println(f)
-		fmt.Printf("(generated in %v)\n\n", time.Since(start).Round(time.Second))
 	}
-	if ran == 0 {
+	if len(sel) == 0 {
 		log.Fatalf("no experiment matches -fig %q", *fig)
 	}
+
+	// Launch every selected figure concurrently — the shared Runner
+	// bounds total simulation concurrency and deduplicates the runs
+	// figures have in common — and print each in selection order as soon
+	// as it (and everything before it) is ready.
+	start := time.Now()
+	type outcome struct {
+		f    *blp.Figure
+		err  error
+		dur  time.Duration
+		done chan struct{}
+	}
+	outs := make([]*outcome, len(sel))
+	for i := range sel {
+		outs[i] = &outcome{done: make(chan struct{})}
+		go func(i int) {
+			defer close(outs[i].done)
+			figStart := time.Now()
+			outs[i].f, outs[i].err = sel[i].run()
+			outs[i].dur = time.Since(figStart)
+		}(i)
+	}
+	for i, e := range sel {
+		<-outs[i].done
+		if outs[i].err != nil {
+			log.Fatalf("fig %s: %v", e.id, outs[i].err)
+		}
+		fmt.Println(outs[i].f)
+		fmt.Printf("(generated in %v)\n\n", outs[i].dur.Round(time.Second))
+	}
+	if len(sel) > 1 {
+		printSummary(os.Stderr, r, time.Since(start))
+	}
+}
+
+// printSummary reports how much work the shared run cache saved.
+func printSummary(w io.Writer, r *blp.Runner, elapsed time.Duration) {
+	s := r.Stats()
+	fmt.Fprintf(w, "experiments: %d simulations (%d duplicate requests served from cache) in %v with %d workers\n",
+		s.Simulated, s.Cached, elapsed.Round(time.Millisecond), r.Jobs())
 }

@@ -30,8 +30,10 @@ func main() {
 	cores := flag.Int("cores", 1, "number of cores")
 	smt := flag.Int("smt", 1, "SMT threads per core (1, 2, 4)")
 	predictor := flag.String("predictor", "", "branch predictor: tage (default), gshare, bimodal, static, oracle")
-	reserve := flag.Int("reserve", 0, "reserved entries for resolve paths (0 = 8)")
+	reserve := flag.Int("reserve", 0, "reserved entries for resolve paths (0 = default 8, -1 = explicitly none)")
 	block := flag.Int("robblock", 0, "ROB block size (0 = 1, pure linked list)")
+	frq := flag.Int("frq", 0, "fetch redirect queue depth (0 = default 8, -1 = explicitly none)")
+	priters := flag.Int("priters", 0, "pagerank sweeps (0 = default 3, -1 = explicitly none)")
 	paperMem := flag.Bool("papermem", false, "use the full Table 1 memory hierarchy")
 	check := flag.Bool("checkslices", false, "enable the slice independence checker")
 	compare := flag.Bool("compare", false, "also run the baseline and report the speedup")
@@ -53,25 +55,31 @@ func main() {
 	opts := blp.Options{
 		Benchmark: *bench, Mode: m, Scale: *scale, Degree: *degree,
 		Seed: *seed, Cores: *cores, SMT: *smt, Predictor: *predictor,
-		Reserve: *reserve, ROBBlockSize: *block, PaperScaleMem: *paperMem,
+		Reserve: *reserve, ROBBlockSize: *block, FRQSize: *frq,
+		PRIters: *priters, PaperScaleMem: *paperMem,
 		CheckIndependence: *check, TraceEvents: *trace,
 	}
+
+	if *compare && m != blp.SliceNone {
+		// Run the measured configuration and its baseline concurrently.
+		b := opts
+		b.Mode = blp.SliceNone
+		results, err := blp.NewRunner(2).RunAll([]blp.Options{opts, b})
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, base := results[0], results[1]
+		printResult(opts, res)
+		fmt.Printf("\nbaseline cycles: %d\nspeedup:         %.3f\n",
+			base.Cycles, blp.Speedup(base, res))
+		return
+	}
+
 	res, err := blp.Run(opts)
 	if err != nil {
 		log.Fatal(err)
 	}
 	printResult(opts, res)
-
-	if *compare && m != blp.SliceNone {
-		b := opts
-		b.Mode = blp.SliceNone
-		base, err := blp.Run(b)
-		if err != nil {
-			log.Fatal(err)
-		}
-		fmt.Printf("\nbaseline cycles: %d\nspeedup:         %.3f\n",
-			base.Cycles, blp.Speedup(base, res))
-	}
 }
 
 func printResult(o blp.Options, r *blp.Result) {

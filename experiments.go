@@ -2,6 +2,7 @@ package blp
 
 import (
 	"fmt"
+	"strings"
 
 	"repro/internal/core"
 	"repro/internal/stats"
@@ -33,6 +34,17 @@ func (f *Figure) set(key string, v float64) {
 	f.Values[key] = v
 }
 
+// addNote appends a note sentence, separating it from existing notes.
+func (f *Figure) addNote(n string) {
+	if n == "" {
+		return
+	}
+	if f.Notes != "" {
+		f.Notes += "; "
+	}
+	f.Notes += n
+}
+
 // BestMode returns the slice placement used for the single-number
 // experiments (Figs. 5-11), following the paper's prescription to "test a
 // few options" and pick the best (§6.1). In the paper that is outer for
@@ -49,34 +61,108 @@ func BestMode(benchmark string) SliceMode {
 	}
 }
 
+// minScale is the floor below which inputs stop exercising the simulated
+// hierarchy at all; scaled clamps to it.
+const minScale = 6
+
 // scaled adjusts a benchmark's input scale by delta (quick sweeps pass a
-// negative delta to trade fidelity for time).
+// negative delta to trade fidelity for time), clamping at minScale.
+// Figures that use it report any clamping via scaleNote, so output never
+// silently labels identical inputs with different requested deltas.
 func scaled(benchmark string, delta int) int {
 	s := DefaultScale(benchmark) + delta
-	if s < 6 {
-		s = 6
+	if s < minScale {
+		s = minScale
 	}
 	return s
+}
+
+// scaleNote reports the benchmarks whose requested scale was clamped to
+// the minScale floor at the given delta, with the effective scale used.
+func scaleNote(delta int) string {
+	var clamped []string
+	for _, b := range Benchmarks {
+		want := DefaultScale(b) + delta
+		if eff := scaled(b, delta); eff != want {
+			clamped = append(clamped, fmt.Sprintf("%s=%d (requested %d)", b, eff, want))
+		}
+	}
+	if len(clamped) == 0 {
+		return ""
+	}
+	return "effective scales clamped: " + strings.Join(clamped, ", ")
+}
+
+// batch accumulates named run requests so a figure can declare every
+// simulation it needs up front, execute the whole set concurrently
+// through the Runner, and then assemble its table serially in
+// deterministic order.
+type batch struct {
+	names []string
+	opts  []Options
+	added map[string]Options
+	res   map[string]*Result
+}
+
+func (b *batch) add(name string, o Options) {
+	if b.added == nil {
+		b.added = map[string]Options{}
+		b.res = map[string]*Result{}
+	}
+	if prev, dup := b.added[name]; dup {
+		if prev != o {
+			panic("blp: conflicting run requests named " + name)
+		}
+		return // identical duplicate (e.g. a repeated sweep value)
+	}
+	b.added[name] = o
+	b.names = append(b.names, name)
+	b.opts = append(b.opts, o)
+}
+
+func (b *batch) run(r *Runner) error {
+	results, err := r.RunAll(b.opts)
+	if err != nil {
+		return err
+	}
+	for i, name := range b.names {
+		b.res[name] = results[i]
+	}
+	return nil
+}
+
+func (b *batch) get(name string) *Result {
+	res, ok := b.res[name]
+	if !ok || res == nil {
+		panic("blp: no result for run request " + name)
+	}
+	return res
 }
 
 // Motivation reproduces the §3 baseline statistics: wrong-path dispatch
 // overhead and the oracle-predictor speedup for every benchmark.
 func Motivation(scaleDelta int) (*Figure, error) {
+	return NewRunner(0).Motivation(scaleDelta)
+}
+
+// Motivation is the Runner-backed form of the package-level Motivation.
+func (r *Runner) Motivation(scaleDelta int) (*Figure, error) {
 	f := &Figure{
 		ID:    "motivation",
 		Title: "§3 baseline branch statistics (TAGE vs oracle)",
 		Table: stats.NewTable("bench", "MPKI", "wrongPath/correct", "oracle speedup"),
 	}
+	var reqs batch
+	for _, b := range Benchmarks {
+		reqs.add("base/"+b, Options{Benchmark: b, Scale: scaled(b, scaleDelta)})
+		reqs.add("oracle/"+b, Options{Benchmark: b, Scale: scaled(b, scaleDelta), Predictor: "oracle"})
+	}
+	if err := reqs.run(r); err != nil {
+		return nil, err
+	}
 	var wpSum, orSum []float64
 	for _, b := range Benchmarks {
-		base, err := Run(Options{Benchmark: b, Scale: scaled(b, scaleDelta)})
-		if err != nil {
-			return nil, err
-		}
-		orc, err := Run(Options{Benchmark: b, Scale: scaled(b, scaleDelta), Predictor: "oracle"})
-		if err != nil {
-			return nil, err
-		}
+		base, orc := reqs.get("base/"+b), reqs.get("oracle/"+b)
 		wp := float64(base.Stats.DispWrong) / float64(base.Stats.DispCorrect)
 		sp := Speedup(base, orc)
 		f.Table.AddRow(b, base.Stats.MPKI(), wp, sp)
@@ -88,6 +174,7 @@ func Motivation(scaleDelta int) (*Figure, error) {
 	f.Table.AddRow("mean", "", mean(wpSum), stats.HarmonicMeanSpeedup(orSum))
 	f.set("oracle/hmean", stats.HarmonicMeanSpeedup(orSum))
 	f.Notes = "paper: +53% wrong-path dispatches, oracle +60% (§3)"
+	f.addNote(scaleNote(scaleDelta))
 	return f, nil
 }
 
@@ -129,39 +216,46 @@ func Table1() *Figure {
 // available, plus perfect branch prediction, per benchmark, with the
 // harmonic means the paper quotes (1.29 overall, 1.35 without pr, 1.60
 // perfect).
-func Fig4(scaleDelta int) (*Figure, error) {
+func Fig4(scaleDelta int) (*Figure, error) { return NewRunner(0).Fig4(scaleDelta) }
+
+// Fig4 is the Runner-backed form of the package-level Fig4.
+func (r *Runner) Fig4(scaleDelta int) (*Figure, error) {
 	f := &Figure{
 		ID:    "fig4",
 		Title: "Speedup vs baseline: slicing placements and perfect prediction",
 		Table: stats.NewTable("bench", "inner", "outer", "perfect"),
 	}
+	var reqs batch
+	for _, b := range Benchmarks {
+		o := Options{Benchmark: b, Scale: scaled(b, scaleDelta)}
+		reqs.add("base/"+b, o)
+		if InnerSliceable(b) {
+			oi := o
+			oi.Mode = SliceInner
+			reqs.add("inner/"+b, oi)
+		}
+		oo := o
+		oo.Mode = SliceOuter
+		reqs.add("outer/"+b, oo)
+		op := o
+		op.Predictor = "oracle"
+		reqs.add("perfect/"+b, op)
+	}
+	if err := reqs.run(r); err != nil {
+		return nil, err
+	}
 	var best, bestNoPR, perfect []float64
 	for _, b := range Benchmarks {
-		base, err := Run(Options{Benchmark: b, Scale: scaled(b, scaleDelta)})
-		if err != nil {
-			return nil, err
-		}
+		base := reqs.get("base/" + b)
 		inner := "-"
 		innerV := 0.0
 		if InnerSliceable(b) {
-			r, err := Run(Options{Benchmark: b, Scale: scaled(b, scaleDelta), Mode: SliceInner})
-			if err != nil {
-				return nil, err
-			}
-			innerV = Speedup(base, r)
+			innerV = Speedup(base, reqs.get("inner/"+b))
 			inner = fmt.Sprintf("%.3f", innerV)
 			f.set("inner/"+b, innerV)
 		}
-		outer, err := Run(Options{Benchmark: b, Scale: scaled(b, scaleDelta), Mode: SliceOuter})
-		if err != nil {
-			return nil, err
-		}
-		orc, err := Run(Options{Benchmark: b, Scale: scaled(b, scaleDelta), Predictor: "oracle"})
-		if err != nil {
-			return nil, err
-		}
-		outerV := Speedup(base, outer)
-		orcV := Speedup(base, orc)
+		outerV := Speedup(base, reqs.get("outer/"+b))
+		orcV := Speedup(base, reqs.get("perfect/"+b))
 		f.Table.AddRow(b, inner, outerV, orcV)
 		f.set("outer/"+b, outerV)
 		f.set("perfect/"+b, orcV)
@@ -185,26 +279,31 @@ func Fig4(scaleDelta int) (*Figure, error) {
 	f.set("hmeanNoPR", hmNoPR)
 	f.set("hmeanPerfect", hmP)
 	f.Notes = fmt.Sprintf("paper: best-hmean 1.29 (1.35 w/o pr), perfect 1.60; measured w/o pr: %.3f", hmNoPR)
+	f.addNote(scaleNote(scaleDelta))
 	return f, nil
 }
 
 // Fig5 reproduces the cycle stacks (exec/branch/mem/other) of baseline
 // and sliced execution, normalized to the baseline cycle count.
-func Fig5(scaleDelta int) (*Figure, error) {
+func Fig5(scaleDelta int) (*Figure, error) { return NewRunner(0).Fig5(scaleDelta) }
+
+// Fig5 is the Runner-backed form of the package-level Fig5.
+func (r *Runner) Fig5(scaleDelta int) (*Figure, error) {
 	f := &Figure{
 		ID:    "fig5",
 		Title: "Cycle stacks, normalized to baseline cycles",
 		Table: stats.NewTable("bench", "run", "exec", "branch", "mem", "other", "total"),
 	}
+	var reqs batch
 	for _, b := range Benchmarks {
-		base, err := Run(Options{Benchmark: b, Scale: scaled(b, scaleDelta)})
-		if err != nil {
-			return nil, err
-		}
-		sl, err := Run(Options{Benchmark: b, Scale: scaled(b, scaleDelta), Mode: BestMode(b)})
-		if err != nil {
-			return nil, err
-		}
+		reqs.add("base/"+b, Options{Benchmark: b, Scale: scaled(b, scaleDelta)})
+		reqs.add("sliced/"+b, Options{Benchmark: b, Scale: scaled(b, scaleDelta), Mode: BestMode(b)})
+	}
+	if err := reqs.run(r); err != nil {
+		return nil, err
+	}
+	for _, b := range Benchmarks {
+		base, sl := reqs.get("base/"+b), reqs.get("sliced/"+b)
 		norm := float64(base.Cycles)
 		for _, r := range []struct {
 			name string
@@ -219,27 +318,32 @@ func Fig5(scaleDelta int) (*Figure, error) {
 		}
 	}
 	f.Notes = "paper: slicing shrinks the branch component; mem grows slightly"
+	f.addNote(scaleNote(scaleDelta))
 	return f, nil
 }
 
 // Fig6 reproduces the dispatched-instruction breakdown: correct path,
 // wrong path, and slice-instruction overhead, normalized to the baseline
 // correct-path count.
-func Fig6(scaleDelta int) (*Figure, error) {
+func Fig6(scaleDelta int) (*Figure, error) { return NewRunner(0).Fig6(scaleDelta) }
+
+// Fig6 is the Runner-backed form of the package-level Fig6.
+func (r *Runner) Fig6(scaleDelta int) (*Figure, error) {
 	f := &Figure{
 		ID:    "fig6",
 		Title: "Dispatched instructions, normalized to correct-path count",
 		Table: stats.NewTable("bench", "run", "correct", "wrongPath", "overhead"),
 	}
+	var reqs batch
 	for _, b := range Benchmarks {
-		base, err := Run(Options{Benchmark: b, Scale: scaled(b, scaleDelta)})
-		if err != nil {
-			return nil, err
-		}
-		sl, err := Run(Options{Benchmark: b, Scale: scaled(b, scaleDelta), Mode: BestMode(b)})
-		if err != nil {
-			return nil, err
-		}
+		reqs.add("base/"+b, Options{Benchmark: b, Scale: scaled(b, scaleDelta)})
+		reqs.add("sliced/"+b, Options{Benchmark: b, Scale: scaled(b, scaleDelta), Mode: BestMode(b)})
+	}
+	if err := reqs.run(r); err != nil {
+		return nil, err
+	}
+	for _, b := range Benchmarks {
+		base, sl := reqs.get("base/"+b), reqs.get("sliced/"+b)
 		norm := float64(base.Stats.DispCorrect)
 		for _, r := range []struct {
 			name string
@@ -253,48 +357,70 @@ func Fig6(scaleDelta int) (*Figure, error) {
 		f.set(fmt.Sprintf("%s/overhead", b), float64(sl.Stats.DispOverhead)/norm)
 	}
 	f.Notes = "paper: slicing cuts wrong-path dispatches; sssp overhead exceeds the saving"
+	f.addNote(scaleNote(scaleDelta))
 	return f, nil
 }
 
 // Fig7 sweeps the §4.7 resource reservation (RS/LQ/SQ entries reserved
-// for resolve paths).
+// for resolve paths). A reserve value of 0 is passed to the simulator as
+// the explicit-zero sentinel (see Options.Reserve); the core rejects it
+// under selective flush, surfacing the §4.7 forward-progress argument as
+// an error rather than a silent fallback to the default.
 func Fig7(scaleDelta int, reserves []int) (*Figure, error) {
+	return NewRunner(0).Fig7(scaleDelta, reserves)
+}
+
+// Fig7 is the Runner-backed form of the package-level Fig7.
+func (r *Runner) Fig7(scaleDelta int, reserves []int) (*Figure, error) {
 	if len(reserves) == 0 {
 		reserves = []int{1, 2, 4, 8, 16, 32}
 	}
 	header := []string{"bench"}
-	for _, r := range reserves {
-		header = append(header, fmt.Sprintf("r=%d", r))
+	for _, rv := range reserves {
+		header = append(header, fmt.Sprintf("r=%d", rv))
 	}
 	f := &Figure{
 		ID:    "fig7",
 		Title: "Sliced speedup vs entries reserved for resolve paths",
 		Table: stats.NewTable(header...),
 	}
+	var reqs batch
 	for _, b := range Benchmarks {
-		base, err := Run(Options{Benchmark: b, Scale: scaled(b, scaleDelta)})
-		if err != nil {
-			return nil, err
-		}
-		row := []any{b}
-		for _, r := range reserves {
-			sl, err := Run(Options{Benchmark: b, Scale: scaled(b, scaleDelta),
-				Mode: BestMode(b), Reserve: r})
-			if err != nil {
-				return nil, err
+		reqs.add("base/"+b, Options{Benchmark: b, Scale: scaled(b, scaleDelta)})
+		for _, rv := range reserves {
+			reserve := rv
+			if reserve == 0 {
+				reserve = Zero
 			}
-			sp := Speedup(base, sl)
+			reqs.add(fmt.Sprintf("r%d/%s", rv, b), Options{Benchmark: b,
+				Scale: scaled(b, scaleDelta), Mode: BestMode(b), Reserve: reserve})
+		}
+	}
+	if err := reqs.run(r); err != nil {
+		return nil, err
+	}
+	for _, b := range Benchmarks {
+		base := reqs.get("base/" + b)
+		row := []any{b}
+		for _, rv := range reserves {
+			sp := Speedup(base, reqs.get(fmt.Sprintf("r%d/%s", rv, b)))
 			row = append(row, sp)
-			f.set(fmt.Sprintf("%s/r%d", b, r), sp)
+			f.set(fmt.Sprintf("%s/r%d", b, rv), sp)
 		}
 		f.Table.AddRow(row...)
 	}
 	f.Notes = "paper: flat (or improving, bc) to 16 reserved entries, drop at 32"
+	f.addNote(scaleNote(scaleDelta))
 	return f, nil
 }
 
 // Fig8 sweeps the blocked linked-list ROB block size.
 func Fig8(scaleDelta int, blocks []int) (*Figure, error) {
+	return NewRunner(0).Fig8(scaleDelta, blocks)
+}
+
+// Fig8 is the Runner-backed form of the package-level Fig8.
+func (r *Runner) Fig8(scaleDelta int, blocks []int) (*Figure, error) {
 	if len(blocks) == 0 {
 		blocks = []int{1, 2, 4, 8, 16}
 	}
@@ -307,20 +433,23 @@ func Fig8(scaleDelta int, blocks []int) (*Figure, error) {
 		Title: "Sliced speedup vs ROB block size (gaps/padding overhead)",
 		Table: stats.NewTable(header...),
 	}
+	var reqs batch
+	for _, b := range Benchmarks {
+		reqs.add("base/"+b, Options{Benchmark: b, Scale: scaled(b, scaleDelta)})
+		for _, bsz := range blocks {
+			reqs.add(fmt.Sprintf("b%d/%s", bsz, b), Options{Benchmark: b,
+				Scale: scaled(b, scaleDelta), Mode: BestMode(b), ROBBlockSize: bsz})
+		}
+	}
+	if err := reqs.run(r); err != nil {
+		return nil, err
+	}
 	perBlock := map[int][]float64{}
 	for _, b := range Benchmarks {
-		base, err := Run(Options{Benchmark: b, Scale: scaled(b, scaleDelta)})
-		if err != nil {
-			return nil, err
-		}
+		base := reqs.get("base/" + b)
 		row := []any{b}
 		for _, bsz := range blocks {
-			sl, err := Run(Options{Benchmark: b, Scale: scaled(b, scaleDelta),
-				Mode: BestMode(b), ROBBlockSize: bsz})
-			if err != nil {
-				return nil, err
-			}
-			sp := Speedup(base, sl)
+			sp := Speedup(base, reqs.get(fmt.Sprintf("b%d/%s", bsz, b)))
 			row = append(row, sp)
 			f.set(fmt.Sprintf("%s/b%d", b, bsz), sp)
 			perBlock[bsz] = append(perBlock[bsz], sp)
@@ -335,30 +464,38 @@ func Fig8(scaleDelta int, blocks []int) (*Figure, error) {
 	}
 	f.Table.AddRow(row...)
 	f.Notes = "paper: ≤4 negligible, −4.1% at 8, −9.5% at 16"
+	f.addNote(scaleNote(scaleDelta))
 	return f, nil
 }
 
 // Fig9 sweeps input size (1×, 2×, 4×, 8× vertices).
-func Fig9(scaleDelta int) (*Figure, error) {
+func Fig9(scaleDelta int) (*Figure, error) { return NewRunner(0).Fig9(scaleDelta) }
+
+// Fig9 is the Runner-backed form of the package-level Fig9.
+func (r *Runner) Fig9(scaleDelta int) (*Figure, error) {
 	factors := []int{0, 1, 2, 3} // scale deltas = log2 of the size factor
 	f := &Figure{
 		ID:    "fig9",
 		Title: "Sliced speedup vs input size (×1, ×2, ×4, ×8)",
 		Table: stats.NewTable("bench", "x1", "x2", "x4", "x8"),
 	}
+	var reqs batch
+	for _, b := range Benchmarks {
+		for _, d := range factors {
+			sc := scaled(b, scaleDelta) + d
+			reqs.add(fmt.Sprintf("base/%s/x%d", b, d), Options{Benchmark: b, Scale: sc})
+			reqs.add(fmt.Sprintf("sliced/%s/x%d", b, d), Options{Benchmark: b, Scale: sc, Mode: BestMode(b)})
+		}
+	}
+	if err := reqs.run(r); err != nil {
+		return nil, err
+	}
 	perFactor := map[int][]float64{}
 	for _, b := range Benchmarks {
 		row := []any{b}
 		for _, d := range factors {
-			sc := scaled(b, scaleDelta) + d
-			base, err := Run(Options{Benchmark: b, Scale: sc})
-			if err != nil {
-				return nil, err
-			}
-			sl, err := Run(Options{Benchmark: b, Scale: sc, Mode: BestMode(b)})
-			if err != nil {
-				return nil, err
-			}
+			base := reqs.get(fmt.Sprintf("base/%s/x%d", b, d))
+			sl := reqs.get(fmt.Sprintf("sliced/%s/x%d", b, d))
 			sp := Speedup(base, sl)
 			row = append(row, sp)
 			f.set(fmt.Sprintf("%s/x%d", b, 1<<d), sp)
@@ -372,6 +509,7 @@ func Fig9(scaleDelta int) (*Figure, error) {
 	}
 	f.Table.AddRow(row...)
 	f.Notes = "paper: no clear trend; average 1.27-1.31 across sizes"
+	f.addNote(scaleNote(scaleDelta))
 	return f, nil
 }
 
@@ -379,6 +517,11 @@ func Fig9(scaleDelta int) (*Figure, error) {
 // paper runs 28 cores with 16× inputs; pass cores and sizeDelta to scale
 // the experiment to budget).
 func Fig10(scaleDelta, cores, sizeDelta int) (*Figure, error) {
+	return NewRunner(0).Fig10(scaleDelta, cores, sizeDelta)
+}
+
+// Fig10 is the Runner-backed form of the package-level Fig10.
+func (r *Runner) Fig10(scaleDelta, cores, sizeDelta int) (*Figure, error) {
 	if cores <= 0 {
 		cores = 4
 	}
@@ -387,26 +530,21 @@ func Fig10(scaleDelta, cores, sizeDelta int) (*Figure, error) {
 		Title: fmt.Sprintf("Sliced speedup: 1 core vs %d cores", cores),
 		Table: stats.NewTable("bench", "1-core", fmt.Sprintf("%d-core", cores)),
 	}
+	var reqs batch
+	for _, b := range Benchmarks {
+		sc := scaled(b, scaleDelta) + sizeDelta
+		reqs.add("base1/"+b, Options{Benchmark: b, Scale: scaled(b, scaleDelta)})
+		reqs.add("sl1/"+b, Options{Benchmark: b, Scale: scaled(b, scaleDelta), Mode: BestMode(b)})
+		reqs.add("baseN/"+b, Options{Benchmark: b, Scale: sc, Cores: cores})
+		reqs.add("slN/"+b, Options{Benchmark: b, Scale: sc, Cores: cores, Mode: BestMode(b)})
+	}
+	if err := reqs.run(r); err != nil {
+		return nil, err
+	}
 	var single, multi []float64
 	for _, b := range Benchmarks {
-		base1, err := Run(Options{Benchmark: b, Scale: scaled(b, scaleDelta)})
-		if err != nil {
-			return nil, err
-		}
-		sl1, err := Run(Options{Benchmark: b, Scale: scaled(b, scaleDelta), Mode: BestMode(b)})
-		if err != nil {
-			return nil, err
-		}
-		sc := scaled(b, scaleDelta) + sizeDelta
-		baseN, err := Run(Options{Benchmark: b, Scale: sc, Cores: cores})
-		if err != nil {
-			return nil, err
-		}
-		slN, err := Run(Options{Benchmark: b, Scale: sc, Cores: cores, Mode: BestMode(b)})
-		if err != nil {
-			return nil, err
-		}
-		s1, sN := Speedup(base1, sl1), Speedup(baseN, slN)
+		s1 := Speedup(reqs.get("base1/"+b), reqs.get("sl1/"+b))
+		sN := Speedup(reqs.get("baseN/"+b), reqs.get("slN/"+b))
 		f.Table.AddRow(b, s1, sN)
 		f.set("1c/"+b, s1)
 		f.set("nc/"+b, sN)
@@ -417,50 +555,63 @@ func Fig10(scaleDelta, cores, sizeDelta int) (*Figure, error) {
 	f.set("hmean/1c", stats.HarmonicMeanSpeedup(single))
 	f.set("hmean/nc", stats.HarmonicMeanSpeedup(multi))
 	f.Notes = "paper: 28-core average 1.29 — the benefit is orthogonal to thread parallelism"
+	f.addNote(scaleNote(scaleDelta))
 	return f, nil
 }
 
 // Fig11 combines SMT (2 and 4 threads) with slicing on a single core.
-func Fig11(scaleDelta int) (*Figure, error) {
+func Fig11(scaleDelta int) (*Figure, error) { return NewRunner(0).Fig11(scaleDelta) }
+
+// fig11Configs are the per-benchmark run variants of Fig. 11, in column
+// order. Modes marked best are resolved per benchmark.
+var fig11Configs = []struct {
+	key  string
+	smt  int
+	best bool
+	pred string
+}{
+	{"smt2", 2, false, ""},
+	{"smt2s", 2, true, ""},
+	{"smt4", 4, false, ""},
+	{"smt4s", 4, true, ""},
+	{"sliced", 1, true, ""},
+	{"perfect", 1, false, "oracle"},
+}
+
+// Fig11 is the Runner-backed form of the package-level Fig11.
+func (r *Runner) Fig11(scaleDelta int) (*Figure, error) {
 	f := &Figure{
 		ID:    "fig11",
 		Title: "SMT and slicing combinations (single core), speedup vs 1-thread baseline",
 		Table: stats.NewTable("bench", "smt2", "smt2+sliced", "smt4", "smt4+sliced", "sliced", "perfect"),
 	}
+	var reqs batch
 	for _, b := range Benchmarks {
 		sc := scaled(b, scaleDelta)
-		base, err := Run(Options{Benchmark: b, Scale: sc})
-		if err != nil {
-			return nil, err
-		}
-		row := []any{b}
-		for _, cfg := range []struct {
-			key  string
-			smt  int
-			mode SliceMode
-			pred string
-		}{
-			{"smt2", 2, SliceNone, ""},
-			{"smt2s", 2, 0, ""}, // mode filled below
-			{"smt4", 4, SliceNone, ""},
-			{"smt4s", 4, 0, ""},
-			{"sliced", 1, 0, ""},
-			{"perfect", 1, SliceNone, "oracle"},
-		} {
-			mode := cfg.mode
-			if cfg.key == "smt2s" || cfg.key == "smt4s" || cfg.key == "sliced" {
+		reqs.add("base/"+b, Options{Benchmark: b, Scale: sc})
+		for _, cfg := range fig11Configs {
+			mode := SliceNone
+			if cfg.best {
 				mode = BestMode(b)
 			}
-			r, err := Run(Options{Benchmark: b, Scale: sc, SMT: cfg.smt, Mode: mode, Predictor: cfg.pred})
-			if err != nil {
-				return nil, err
-			}
-			sp := Speedup(base, r)
+			reqs.add(cfg.key+"/"+b, Options{Benchmark: b, Scale: sc,
+				SMT: cfg.smt, Mode: mode, Predictor: cfg.pred})
+		}
+	}
+	if err := reqs.run(r); err != nil {
+		return nil, err
+	}
+	for _, b := range Benchmarks {
+		base := reqs.get("base/" + b)
+		row := []any{b}
+		for _, cfg := range fig11Configs {
+			sp := Speedup(base, reqs.get(cfg.key+"/"+b))
 			row = append(row, sp)
 			f.set(fmt.Sprintf("%s/%s", b, cfg.key), sp)
 		}
 		f.Table.AddRow(row...)
 	}
 	f.Notes = "paper: SMT alone beats slicing alone, but slicing adds on top of SMT"
+	f.addNote(scaleNote(scaleDelta))
 	return f, nil
 }

@@ -122,6 +122,16 @@ func (c Config) Validate() error {
 	if c.Reserve < 0 || c.Reserve >= c.RS || c.Reserve >= c.LQ || c.Reserve >= c.SQ {
 		return fmt.Errorf("core: Reserve %d out of range", c.Reserve)
 	}
+	if c.SelectiveFlush && c.Reserve == 0 {
+		// §4.7's reservation is the forward-progress guarantee: with no
+		// entries held back, regular fetch packs the RS/LQ/SQ with
+		// instructions that cannot complete until the resolve path of an
+		// unresolved branch dispatches — which then has no entries. The
+		// resulting deadlock is architectural, so reject it up front
+		// instead of letting the watchdog time out.
+		return fmt.Errorf("core: Reserve 0 with selective flush deadlocks " +
+			"(resolve paths starve, §4.7); reserve at least 1 entry")
+	}
 	if c.FetchWidth <= 0 || c.DispatchWidth <= 0 || c.IssueWidth <= 0 || c.CommitWidth <= 0 {
 		return fmt.Errorf("core: widths must be positive")
 	}

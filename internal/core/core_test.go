@@ -19,6 +19,12 @@ func TestConfigValidate(t *testing.T) {
 		func(c *Config) { c.Reserve = c.SQ },
 		func(c *Config) { c.FetchWidth = 0 },
 		func(c *Config) { c.ROBBlockSize = 0 },
+		func(c *Config) { c.SelectiveFlush = true; c.Reserve = 0 },
+	}
+	zeroReserveBaseline := DefaultConfig()
+	zeroReserveBaseline.Reserve = 0
+	if err := zeroReserveBaseline.Validate(); err != nil {
+		t.Fatalf("Reserve 0 without selective flush should be valid: %v", err)
 	}
 	for i, mut := range bad {
 		c := DefaultConfig()

@@ -56,6 +56,9 @@ func InnerSliceable(kernel string) bool {
 	return false
 }
 
+// DefaultPRIters is the default number of PageRank sweeps.
+const DefaultPRIters = 3
+
 // Spec describes one benchmark instance.
 type Spec struct {
 	Kernel  string
@@ -64,7 +67,7 @@ type Spec struct {
 	Seed    uint64 // RMAT / data seed
 	Mode    SliceMode
 	Threads int // hardware threads (cores × SMT); parallel loops are chunked
-	PRIters int // pagerank sweeps
+	PRIters int // pagerank sweeps (0 = DefaultPRIters, negative = explicitly 0)
 }
 
 // DefaultScale returns the baseline input scale per kernel. The paper uses
@@ -104,7 +107,9 @@ func (s Spec) Normalize() (Spec, error) {
 		s.Threads = 1
 	}
 	if s.PRIters == 0 {
-		s.PRIters = 3
+		s.PRIters = DefaultPRIters
+	} else if s.PRIters < 0 {
+		s.PRIters = 0 // negative sentinel: explicitly zero sweeps
 	}
 	if s.Mode == SliceInner && !InnerSliceable(s.Kernel) {
 		return s, fmt.Errorf("kernels: %s does not support inner slicing (§6.1)", s.Kernel)
@@ -117,27 +122,59 @@ func (s Spec) Normalize() (Spec, error) {
 	return s, nil
 }
 
-// Build constructs the workload for a spec.
+// Build constructs the workload for a spec. Built workloads are memoized
+// process-wide (singleflight per spec, so concurrent callers share one
+// construction): input generation, CSR build, program assembly, and the
+// host reference are all reused across runs that differ only in core or
+// memory configuration. The simulator mutates the memory image, so each
+// call receives a fresh copy of the pristine image; the programs and the
+// Check closure are immutable at run time and shared.
 func Build(spec Spec) (*sim.Workload, error) {
 	spec, err := spec.Normalize()
 	if err != nil {
 		return nil, err
 	}
+	key := fmt.Sprintf("%+v", spec)
+	buildMu.Lock()
+	e, ok := buildCache[key]
+	if !ok {
+		e = &buildEntry{}
+		buildCache[key] = e
+	}
+	buildMu.Unlock()
+	e.once.Do(func() { e.w = buildUncached(spec) })
+	w := *e.w
+	w.Mem = append([]byte(nil), e.w.Mem...)
+	return &w, nil
+}
+
+type buildEntry struct {
+	once sync.Once
+	w    *sim.Workload
+}
+
+var (
+	buildMu    sync.Mutex
+	buildCache = map[string]*buildEntry{}
+)
+
+// buildUncached constructs a workload for an already-normalized spec.
+func buildUncached(spec Spec) *sim.Workload {
 	switch spec.Kernel {
 	case "pr":
-		return buildPR(spec), nil
+		return buildPR(spec)
 	case "bfs":
-		return buildBFS(spec), nil
+		return buildBFS(spec)
 	case "cc":
-		return buildCC(spec), nil
+		return buildCC(spec)
 	case "sssp":
-		return buildSSSP(spec), nil
+		return buildSSSP(spec)
 	case "bc":
-		return buildBC(spec), nil
+		return buildBC(spec)
 	case "tc":
-		return buildTC(spec), nil
+		return buildTC(spec)
 	case "ms":
-		return buildMS(spec), nil
+		return buildMS(spec)
 	}
 	panic("unreachable")
 }

@@ -1,6 +1,7 @@
 package kernels
 
 import (
+	"bytes"
 	"testing"
 
 	"repro/internal/emu"
@@ -65,6 +66,48 @@ func TestKernelsDefaultScales(t *testing.T) {
 			runFunctional(t, Spec{Kernel: k, Mode: SliceOuter})
 		})
 	}
+}
+
+// Build memoizes constructed workloads; the simulator mutates the memory
+// image, so each call must get a fresh pristine copy while the (runtime-
+// immutable) programs are shared.
+func TestBuildCacheFreshMemory(t *testing.T) {
+	spec := Spec{Kernel: "cc", Scale: 6}
+	w1, err := Build(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w2, err := Build(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &w1.Mem[0] == &w2.Mem[0] {
+		t.Fatal("cached builds share one memory image")
+	}
+	if !bytes.Equal(w1.Mem, w2.Mem) {
+		t.Fatal("cached build returned a non-pristine image")
+	}
+	if w1.Progs[0] != w2.Progs[0] {
+		t.Fatal("cached builds should share the assembled programs")
+	}
+	w1.Mem[0] ^= 0xFF
+	if w1.Mem[0] == w2.Mem[0] {
+		t.Fatal("mutating one image leaked into the other")
+	}
+}
+
+func TestPRItersSentinel(t *testing.T) {
+	s, err := Spec{Kernel: "pr", PRIters: -1}.Normalize()
+	if err != nil || s.PRIters != 0 {
+		t.Fatalf("negative sentinel → %d sweeps (err %v), want 0", s.PRIters, err)
+	}
+	s, err = Spec{Kernel: "pr"}.Normalize()
+	if err != nil || s.PRIters != DefaultPRIters {
+		t.Fatalf("unset → %d sweeps (err %v), want %d", s.PRIters, err, DefaultPRIters)
+	}
+	// A zero-sweep run must leave every score at its 1/n initial value —
+	// the workload's Check validates exactly that against refPR(g, 0).
+	runFunctional(t, Spec{Kernel: "pr", Scale: 6, PRIters: -1})
 }
 
 func TestInnerSliceRejected(t *testing.T) {

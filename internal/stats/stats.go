@@ -12,13 +12,19 @@ import (
 
 // HarmonicMeanSpeedup returns the harmonic mean of per-benchmark speedups,
 // the aggregation the paper reports ("the overall average speedup is 1.29
-// (harmonic mean)", §6.1).
+// (harmonic mean)", §6.1). A NaN input (an unmeasurable speedup, e.g.
+// blp.Speedup against a zero-cycle run) propagates to a NaN mean rather
+// than being silently averaged in or dropped, so a poisoned series is
+// visible in the output.
 func HarmonicMeanSpeedup(speedups []float64) float64 {
 	if len(speedups) == 0 {
 		return 0
 	}
 	var inv float64
 	for _, s := range speedups {
+		if math.IsNaN(s) {
+			return math.NaN()
+		}
 		if s <= 0 {
 			return 0
 		}

@@ -23,6 +23,26 @@ func TestHarmonicMean(t *testing.T) {
 	}
 }
 
+// A NaN speedup (an unmeasurable comparison, e.g. against a zero-cycle
+// run) must poison the mean visibly rather than be averaged in, dropped,
+// or — worst — surface as a plausible-looking finite value.
+func TestHarmonicMeanPropagatesNaN(t *testing.T) {
+	nan := math.NaN()
+	for _, in := range [][]float64{
+		{nan},
+		{1.2, nan, 1.4},
+		{nan, nan},
+		{nan, 0}, // NaN wins over the zero short-circuit: checked first
+	} {
+		if hm := HarmonicMeanSpeedup(in); !math.IsNaN(hm) {
+			t.Fatalf("hm(%v) = %f, want NaN", in, hm)
+		}
+	}
+	if hm := HarmonicMeanSpeedup([]float64{1, 2}); math.IsNaN(hm) {
+		t.Fatal("NaN-free input should stay finite")
+	}
+}
+
 func TestGeoMean(t *testing.T) {
 	if gm := GeoMean([]float64{2, 8}); math.Abs(gm-4) > 1e-12 {
 		t.Fatalf("gm = %f", gm)

@@ -1,0 +1,180 @@
+package blp
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+)
+
+// Runner executes simulations concurrently with memoization. Requests are
+// deduplicated — in flight and completed — by the canonical Options key
+// (Options.Key), so sweeps that revisit a configuration (every figure
+// re-measures the per-benchmark baseline, for instance) simulate it
+// exactly once; concurrency is bounded by a worker budget. blp.Run stays
+// unmemoized for callers that need a fresh simulation per call.
+//
+// Results returned for duplicate requests alias the same *Result; treat
+// them as read-only.
+type Runner struct {
+	jobs int
+	sem  chan struct{}
+
+	mu        sync.Mutex
+	calls     map[string]*runnerCall
+	progress  io.Writer
+	simulated int // simulations actually executed
+	cached    int // requests served by an in-flight or completed duplicate
+	inFlight  int // simulations currently executing
+}
+
+// runnerCall is one singleflight cell: the first requester of a key runs
+// the simulation and closes done; every later requester waits on done and
+// shares res/err.
+type runnerCall struct {
+	done chan struct{}
+	res  *Result
+	err  error
+}
+
+// NewRunner returns a Runner executing at most jobs simulations at once
+// (jobs <= 0 selects runtime.NumCPU()).
+func NewRunner(jobs int) *Runner {
+	if jobs <= 0 {
+		jobs = runtime.NumCPU()
+	}
+	return &Runner{
+		jobs:  jobs,
+		sem:   make(chan struct{}, jobs),
+		calls: make(map[string]*runnerCall),
+	}
+}
+
+// Jobs returns the worker budget.
+func (r *Runner) Jobs() int { return r.jobs }
+
+// SetProgress directs a one-line-per-completed-run progress report
+// (elapsed time plus simulated/cached/in-flight counts) to w; nil
+// disables it. Call before submitting work.
+func (r *Runner) SetProgress(w io.Writer) {
+	r.mu.Lock()
+	r.progress = w
+	r.mu.Unlock()
+}
+
+// RunnerStats counts a Runner's activity so far.
+type RunnerStats struct {
+	// Simulated is the number of simulations actually executed.
+	Simulated int
+	// Cached is the number of requests answered by a duplicate —
+	// joined in flight or already completed.
+	Cached int
+	// InFlight is the number of simulations executing right now.
+	InFlight int
+}
+
+// Stats returns the Runner's current counters.
+func (r *Runner) Stats() RunnerStats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return RunnerStats{Simulated: r.simulated, Cached: r.cached, InFlight: r.inFlight}
+}
+
+// Run is a memoized, concurrency-bounded blp.Run: the first request for a
+// canonical Options key simulates (waiting for a worker slot); duplicates
+// block until that simulation finishes and share its result. Safe for
+// concurrent use.
+func (r *Runner) Run(o Options) (*Result, error) {
+	key := o.Key()
+	r.mu.Lock()
+	if c, ok := r.calls[key]; ok {
+		r.cached++
+		r.mu.Unlock()
+		<-c.done
+		return c.res, c.err
+	}
+	c := &runnerCall{done: make(chan struct{})}
+	r.calls[key] = c
+	r.mu.Unlock()
+
+	r.sem <- struct{}{}
+	r.mu.Lock()
+	r.inFlight++
+	r.mu.Unlock()
+
+	start := time.Now()
+	c.res, c.err = Run(o)
+	elapsed := time.Since(start)
+
+	r.mu.Lock()
+	r.inFlight--
+	r.simulated++
+	w := r.progress
+	line := ""
+	if w != nil {
+		line = fmt.Sprintf("run %-32s %8s  [%d simulated, %d cached, %d in flight]\n",
+			describeRun(o), elapsed.Round(time.Millisecond),
+			r.simulated, r.cached, r.inFlight)
+	}
+	r.mu.Unlock()
+	<-r.sem
+	close(c.done)
+	if w != nil {
+		io.WriteString(w, line)
+	}
+	return c.res, c.err
+}
+
+// RunAll executes every request concurrently (each bounded by the worker
+// budget) and returns the results in input order — the deterministic
+// fan-out primitive the figure harness is built on. If any run fails, the
+// first error in input order is returned after all runs finish.
+func (r *Runner) RunAll(opts []Options) ([]*Result, error) {
+	res := make([]*Result, len(opts))
+	errs := make([]error, len(opts))
+	var wg sync.WaitGroup
+	for i := range opts {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			res[i], errs[i] = r.Run(opts[i])
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return res, nil
+}
+
+// describeRun renders a compact human-readable run identity for the
+// progress line: benchmark, placement, scale, and any non-default knobs.
+func describeRun(o Options) string {
+	n := o.normalized()
+	s := fmt.Sprintf("%s/%s s%d", n.Benchmark, n.Mode, n.Scale)
+	d := core.DefaultConfig()
+	if n.Predictor != d.Predictor {
+		s += " " + n.Predictor
+	}
+	if n.Cores > 1 {
+		s += fmt.Sprintf(" c%d", n.Cores)
+	}
+	if n.SMT > 1 {
+		s += fmt.Sprintf(" smt%d", n.SMT)
+	}
+	if n.Reserve != d.Reserve {
+		s += fmt.Sprintf(" r%d", zv(n.Reserve))
+	}
+	if n.ROBBlockSize != d.ROBBlockSize {
+		s += fmt.Sprintf(" b%d", zv(n.ROBBlockSize))
+	}
+	if n.FRQSize != d.FRQSize {
+		s += fmt.Sprintf(" frq%d", zv(n.FRQSize))
+	}
+	return s
+}

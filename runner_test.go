@@ -1,0 +1,221 @@
+package blp
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// Two spellings of the same run — zero-value defaults vs every default
+// written out — must share one canonical key, while the Zero sentinel
+// must produce a distinct one.
+func TestOptionsKeyCanonicalization(t *testing.T) {
+	implicit := Options{Benchmark: "cc", Scale: 6}
+	explicit := Options{Benchmark: "cc", Scale: 6, Degree: 16, Seed: 1,
+		Cores: 1, SMT: 1, Predictor: "tage", Reserve: 8, ROBBlockSize: 1,
+		FRQSize: 8, PRIters: 3}
+	if implicit.Key() != explicit.Key() {
+		t.Fatalf("keys differ:\n%s\n%s", implicit.Key(), explicit.Key())
+	}
+	zero := implicit
+	zero.Reserve = Zero
+	if zero.Key() == implicit.Key() {
+		t.Fatal("explicit zero reserve should not share the default's key")
+	}
+	traced := implicit
+	traced.TraceEvents = 100
+	if traced.Key() != implicit.Key() {
+		t.Fatal("TraceEvents is output-only and must not change the key")
+	}
+}
+
+// Concurrent requests for one canonical key must simulate exactly once
+// (singleflight) and hand every caller the same result.
+func TestRunnerDedupSameKey(t *testing.T) {
+	r := NewRunner(4)
+	implicit := Options{Benchmark: "cc", Scale: 6}
+	explicit := Options{Benchmark: "cc", Scale: 6, Degree: 16, Seed: 1,
+		Cores: 1, SMT: 1, Predictor: "tage", Reserve: 8, ROBBlockSize: 1,
+		FRQSize: 8, PRIters: 3}
+
+	const callers = 8
+	results := make([]*Result, callers)
+	var wg sync.WaitGroup
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			o := implicit
+			if i%2 == 1 {
+				o = explicit
+			}
+			res, err := r.Run(o)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			results[i] = res
+		}(i)
+	}
+	wg.Wait()
+	if t.Failed() {
+		t.FailNow()
+	}
+	s := r.Stats()
+	if s.Simulated != 1 {
+		t.Fatalf("simulated %d runs for one canonical key, want 1", s.Simulated)
+	}
+	if s.Cached != callers-1 {
+		t.Fatalf("cached %d requests, want %d", s.Cached, callers-1)
+	}
+	if s.InFlight != 0 {
+		t.Fatalf("%d runs still in flight after completion", s.InFlight)
+	}
+	for i, res := range results {
+		if res != results[0] {
+			t.Fatalf("caller %d got a different result pointer", i)
+		}
+	}
+}
+
+func TestRunnerPropagatesError(t *testing.T) {
+	r := NewRunner(2)
+	if _, err := r.Run(Options{Benchmark: "nope"}); err == nil {
+		t.Fatal("unknown benchmark accepted")
+	}
+	if _, err := r.RunAll([]Options{
+		{Benchmark: "cc", Scale: 6},
+		{Benchmark: "bfs", Mode: SliceInner}, // §6.1 forbids
+	}); err == nil {
+		t.Fatal("RunAll swallowed an error")
+	}
+}
+
+// The explicit-zero sentinel: previously Reserve/FRQSize/PRIters 0 all
+// silently meant "use the default". Now a baseline zero-reserve run and
+// a zero-depth-FRQ sliced run execute, a zero-sweep PageRank validates,
+// and the structurally impossible combinations (zero reserve under
+// selective flush — an architectural deadlock per §4.7 — and a zero ROB
+// block size) fail fast with a clear error instead of being replaced by
+// the default or timing out in the watchdog.
+func TestExplicitZeroOptions(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-backed ablations are slow")
+	}
+	if _, err := Run(Options{Benchmark: "cc", Scale: 6, Reserve: Zero}); err != nil {
+		t.Fatalf("baseline zero-reserve run: %v", err)
+	}
+	if _, err := Run(Options{Benchmark: "cc", Scale: 6, Mode: SliceOuter, Reserve: Zero}); err == nil {
+		t.Fatal("zero reserve with selective flush should fail §4.7 validation")
+	}
+	if _, err := Run(Options{Benchmark: "cc", Scale: 6, Mode: SliceOuter, FRQSize: Zero}); err != nil {
+		t.Fatalf("zero-FRQ ablation: %v", err)
+	}
+	if _, err := Run(Options{Benchmark: "pr", Scale: 6, PRIters: Zero}); err != nil {
+		t.Fatalf("zero-sweep pagerank: %v", err)
+	}
+	if _, err := Run(Options{Benchmark: "cc", Scale: 6, ROBBlockSize: Zero}); err == nil {
+		t.Fatal("zero ROB block size should fail core validation")
+	}
+}
+
+func TestSpeedupUnmeasurableIsNaN(t *testing.T) {
+	base := &Result{Cycles: 100}
+	if s := Speedup(base, &Result{}); !math.IsNaN(s) {
+		t.Fatalf("speedup vs zero-cycle run = %f, want NaN", s)
+	}
+	if s := Speedup(base, &Result{Cycles: 50}); s != 2 {
+		t.Fatalf("speedup = %f, want 2", s)
+	}
+}
+
+// A parallel Runner must regenerate byte-identical figure output to a
+// serial (jobs=1) one: the fan-out only changes execution order, never
+// the table assembly order or the simulated results.
+func TestParallelFigureMatchesSerial(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment harness is slow")
+	}
+	serial, err := NewRunner(1).Fig6(-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := NewRunner(4).Fig6(-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serial.String() != parallel.String() {
+		t.Fatalf("parallel output diverged from serial:\n--- serial\n%s--- parallel\n%s",
+			serial, parallel)
+	}
+}
+
+// Fig4 through a wide Runner at a tiny scale: the figure-level dedup and
+// fan-out path the CI race job exercises. Not skipped in -short so that
+// `go test -race -short` still covers concurrent simulation.
+func TestFig4ParallelSmall(t *testing.T) {
+	r := NewRunner(4)
+	f, err := r.Fig4(-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Values) == 0 {
+		t.Fatal("no values recorded")
+	}
+	for k, v := range f.Values {
+		if v <= 0 || math.IsNaN(v) {
+			t.Fatalf("bad speedup %s=%f", k, v)
+		}
+	}
+	s := r.Stats()
+	// 7 benchmarks × (base, outer, perfect) + 3 inner-sliceable = 24
+	// distinct runs, none duplicated within Fig4.
+	if s.Simulated != 24 || s.Cached != 0 {
+		t.Fatalf("simulated %d / cached %d, want 24 / 0", s.Simulated, s.Cached)
+	}
+	if !strings.Contains(f.Notes, "effective scales clamped") {
+		t.Fatalf("clamped scales not reported in notes: %q", f.Notes)
+	}
+}
+
+// Figures sharing one Runner reuse each other's runs: Fig5 and Fig6
+// request exactly the same (base, best-sliced) pair per benchmark, so the
+// second figure simulates nothing.
+func TestRunnerSharedAcrossFigures(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment harness is slow")
+	}
+	r := NewRunner(4)
+	if _, err := r.Fig5(-6); err != nil {
+		t.Fatal(err)
+	}
+	after5 := r.Stats()
+	if _, err := r.Fig6(-6); err != nil {
+		t.Fatal(err)
+	}
+	after6 := r.Stats()
+	if after6.Simulated != after5.Simulated {
+		t.Fatalf("Fig6 simulated %d new runs after Fig5, want 0",
+			after6.Simulated-after5.Simulated)
+	}
+	if after6.Cached <= after5.Cached {
+		t.Fatal("Fig6 hit no cached runs")
+	}
+}
+
+func TestScaleNote(t *testing.T) {
+	if n := scaleNote(0); n != "" {
+		t.Fatalf("unexpected clamp note at delta 0: %q", n)
+	}
+	n := scaleNote(-100)
+	for _, b := range Benchmarks {
+		if !strings.Contains(n, b+"=6") {
+			t.Fatalf("clamp note missing %s: %q", b, n)
+		}
+	}
+	// tc default 8: delta -2 reaches the floor exactly — no clamping.
+	if n := scaleNote(-2); strings.Contains(n, "tc=") {
+		t.Fatalf("tc not clamped at delta -2 but reported: %q", n)
+	}
+}
