@@ -21,9 +21,18 @@ import (
 	"os"
 
 	"repro/internal/core"
+	"repro/internal/flight"
 	"repro/internal/kernels"
 	"repro/internal/sim"
 )
+
+// FlightRecorder is the opt-in observability recorder of internal/flight:
+// attach one via Options.Flight to collect an interval occupancy timeline
+// (flight.Recorder.Samples) and per-uop pipeline events (flight.
+// Recorder.Events) during a run. See flight's package doc for the
+// single-writer contract; a Recorder must not be shared across concurrent
+// runs.
+type FlightRecorder = flight.Recorder
 
 // SliceMode selects the slice-instruction placement (§6.1 of the paper).
 type SliceMode = kernels.SliceMode
@@ -110,6 +119,13 @@ type Options struct {
 	// PRIters is the number of PageRank sweeps (0 = default 3; Zero for
 	// an explicit 0, leaving every score at its 1/n initial value).
 	PRIters int
+	// WatchdogCycles is the no-commit deadlock watchdog threshold
+	// (0 = sim.DefaultWatchdogCycles; must not be negative).
+	WatchdogCycles int64
+	// Flight, when non-nil, records the run's timeline and pipeline
+	// events (see FlightRecorder). Output-only: it does not affect the
+	// simulation and is excluded from Key.
+	Flight *FlightRecorder
 }
 
 // normalized returns o with every defaulted field resolved to its
@@ -148,6 +164,9 @@ func (o Options) normalized() Options {
 	if o.PRIters == 0 {
 		o.PRIters = kernels.DefaultPRIters
 	}
+	if o.WatchdogCycles == 0 {
+		o.WatchdogCycles = sim.DefaultWatchdogCycles
+	}
 	return o
 }
 
@@ -160,12 +179,13 @@ func zv(v int) int {
 }
 
 // Key returns the canonical identity of the simulation Run would perform
-// for o: all defaults resolved, output-only fields (TraceEvents) ignored.
-// Two Options with equal Keys produce identical Results; the Runner uses
-// it as its memoization key.
+// for o: all defaults resolved, output-only fields (TraceEvents, Flight)
+// ignored. Two Options with equal Keys produce identical Results; the
+// Runner uses it as its memoization key.
 func (o Options) Key() string {
 	n := o.normalized()
 	n.TraceEvents = 0
+	n.Flight = nil
 	return fmt.Sprintf("%+v", n)
 }
 
@@ -242,6 +262,8 @@ func Run(o Options) (*Result, error) {
 		cfg.Core.Trace = os.Stderr
 		cfg.Core.TraceLimit = n.TraceEvents
 	}
+	cfg.WatchdogCycles = n.WatchdogCycles
+	cfg.Recorder = n.Flight
 
 	r, err := sim.Run(cfg, w)
 	if err != nil {

@@ -39,6 +39,8 @@ func main() {
 	sizeDelta := flag.Int("sizedelta", 1, "extra input-scale steps for fig10's multicore runs")
 	jobs := flag.Int("jobs", runtime.NumCPU(), "max concurrent simulations (shared across figures)")
 	quiet := flag.Bool("quiet", false, "suppress the per-run progress line on stderr")
+	asJSON := flag.Bool("json", false, "emit the machine-readable metrics report (JSON) on stdout instead of text tables")
+	metrics := flag.String("metrics", "", "also write the metrics report (JSON) to this file")
 	flag.Parse()
 
 	r := blp.NewRunner(*jobs)
@@ -107,13 +109,36 @@ func main() {
 			outs[i].dur = time.Since(figStart)
 		}(i)
 	}
+	figs := make([]*blp.Figure, len(sel))
 	for i, e := range sel {
 		<-outs[i].done
 		if outs[i].err != nil {
 			log.Fatalf("fig %s: %v", e.id, outs[i].err)
 		}
-		fmt.Println(outs[i].f)
-		fmt.Printf("(generated in %v)\n\n", outs[i].dur.Round(time.Second))
+		figs[i] = outs[i].f
+		if !*asJSON {
+			fmt.Println(outs[i].f)
+			fmt.Printf("(generated in %v)\n\n", outs[i].dur.Round(time.Second))
+		}
+	}
+	report := blp.NewReport(figs...)
+	if *asJSON {
+		if err := report.WriteJSON(os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if *metrics != "" {
+		f, err := os.Create(*metrics)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := report.WriteJSON(f); err != nil {
+			f.Close()
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
 	}
 	if len(sel) > 1 {
 		printSummary(os.Stderr, r, time.Since(start))

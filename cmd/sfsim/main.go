@@ -6,11 +6,14 @@
 //	sfsim -bench bfs -mode outer
 //	sfsim -bench cc -mode inner -scale 11 -predictor oracle
 //	sfsim -bench ms -cores 4 -compare
+//	sfsim -bench bfs -mode outer -trace trace.json   # Chrome trace export
+//	sfsim -bench bfs -timeline tl.csv -interval 500  # occupancy timeline
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 	"strings"
@@ -37,7 +40,11 @@ func main() {
 	paperMem := flag.Bool("papermem", false, "use the full Table 1 memory hierarchy")
 	check := flag.Bool("checkslices", false, "enable the slice independence checker")
 	compare := flag.Bool("compare", false, "also run the baseline and report the speedup")
-	trace := flag.Int64("trace", 0, "print the first N pipeline events to stderr")
+	events := flag.Int64("traceevents", 0, "print the first N pipeline events to stderr")
+	tracePath := flag.String("trace", "", "write a per-uop pipeline trace (Chrome trace_event JSON) to this file")
+	timelinePath := flag.String("timeline", "", "write the interval occupancy/IPC/MPKI timeline (CSV) to this file")
+	interval := flag.Int64("interval", 1000, "timeline sampling interval in cycles")
+	watchdog := flag.Int64("watchdog", 0, "deadlock watchdog threshold in no-commit cycles (0 = default)")
 	flag.Parse()
 
 	var m blp.SliceMode
@@ -57,7 +64,18 @@ func main() {
 		Seed: *seed, Cores: *cores, SMT: *smt, Predictor: *predictor,
 		Reserve: *reserve, ROBBlockSize: *block, FRQSize: *frq,
 		PRIters: *priters, PaperScaleMem: *paperMem,
-		CheckIndependence: *check, TraceEvents: *trace,
+		CheckIndependence: *check, TraceEvents: *events,
+		WatchdogCycles: *watchdog,
+	}
+
+	// Attach a flight recorder when any export was requested.
+	var rec *blp.FlightRecorder
+	if *tracePath != "" || *timelinePath != "" {
+		rec = &blp.FlightRecorder{TraceUops: *tracePath != ""}
+		if *timelinePath != "" {
+			rec.Interval = *interval
+		}
+		opts.Flight = rec
 	}
 
 	if *compare && m != blp.SliceNone {
@@ -72,6 +90,7 @@ func main() {
 		printResult(opts, res)
 		fmt.Printf("\nbaseline cycles: %d\nspeedup:         %.3f\n",
 			base.Cycles, blp.Speedup(base, res))
+		writeRecordings(rec, *tracePath, *timelinePath)
 		return
 	}
 
@@ -80,6 +99,38 @@ func main() {
 		log.Fatal(err)
 	}
 	printResult(opts, res)
+	writeRecordings(rec, *tracePath, *timelinePath)
+}
+
+// writeRecordings exports the recorder's contents to the requested files.
+func writeRecordings(rec *blp.FlightRecorder, tracePath, timelinePath string) {
+	if rec == nil {
+		return
+	}
+	if tracePath != "" {
+		writeFile(tracePath, rec.WriteChromeTrace)
+		fmt.Fprintf(os.Stderr, "sfsim: wrote %d pipeline events to %s (%d dropped)\n",
+			len(rec.Events()), tracePath, rec.Dropped())
+	}
+	if timelinePath != "" {
+		writeFile(timelinePath, rec.WriteTimelineCSV)
+		fmt.Fprintf(os.Stderr, "sfsim: wrote %d timeline samples to %s\n",
+			len(rec.Samples()), timelinePath)
+	}
+}
+
+func writeFile(path string, write func(io.Writer) error) {
+	f, err := os.Create(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		log.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		log.Fatal(err)
+	}
 }
 
 func printResult(o blp.Options, r *blp.Result) {

@@ -112,6 +112,9 @@ func (c *Core) release(t *thread, u *uop) {
 	u.state = stCommitted
 	c.stats.Committed++
 	c.committedThisCycle++
+	if c.rec != nil {
+		c.recordUop(u, false)
+	}
 	c.trace("COMMIT      t%d %s", t.id, traceUop(u))
 }
 

@@ -8,6 +8,8 @@ package core
 import (
 	"fmt"
 	"io"
+
+	"repro/internal/flight"
 )
 
 // Config holds the core's structural parameters. DefaultConfig reproduces
@@ -80,6 +82,13 @@ type Config struct {
 	Trace io.Writer
 	// TraceLimit stops tracing after this many events (0 = unlimited).
 	TraceLimit int64
+
+	// Recorder, when non-nil, receives structured pipeline events
+	// (selective-flush unlink/splice/recovery, and per-uop lifetimes if
+	// its TraceUops is set) and serves occupancy snapshots — the flight
+	// recorder of internal/flight. Nil (the default) records nothing
+	// and adds no cost beyond one pointer check per hook site.
+	Recorder *flight.Recorder
 }
 
 // DefaultConfig returns the paper's Table 1 core configuration.

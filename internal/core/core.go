@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/cache"
 	"repro/internal/emu"
+	"repro/internal/flight"
 	"repro/internal/isa"
 	"repro/internal/rob"
 )
@@ -18,6 +19,9 @@ type Core struct {
 	cfg  Config
 	id   int
 	hier *cache.Hierarchy
+	// rec is the optional flight recorder (cfg.Recorder); nil disables
+	// every hook.
+	rec *flight.Recorder
 
 	threads []*thread
 
@@ -59,6 +63,7 @@ func NewCore(id int, cfg Config, hier *cache.Hierarchy, machines []*emu.Machine)
 		cfg:   cfg,
 		id:    id,
 		hier:  hier,
+		rec:   cfg.Recorder,
 		space: rob.NewSpace(cfg.ROBSize, cfg.ROBBlockSize),
 	}
 	for i, m := range machines {

@@ -1,6 +1,9 @@
 package core
 
-import "repro/internal/isa"
+import (
+	"repro/internal/flight"
+	"repro/internal/isa"
+)
 
 // dispatch renames and inserts fetched instructions into the window, up to
 // DispatchWidth per cycle, round-robin across SMT threads.
@@ -239,6 +242,9 @@ func (c *Core) tryDispatch(t *thread, u *uop, oldestHole uint64) bool {
 		if mi.insertPos == nil {
 			mi.insertPos = &mi.branch.node
 		}
+		if c.rec != nil {
+			c.recordMechanism(flight.EvSplice, t, u, int64(mi.branchSeq))
+		}
 		t.list.InsertAfter(mi.insertPos, &u.node)
 		prev := mi.insertPos.Val
 		prev.spliceHold = nil
@@ -264,6 +270,9 @@ func (c *Core) tryDispatch(t *thread, u *uop, oldestHole uint64) bool {
 	}
 
 	u.state = stWaiting
+	if c.rec != nil && c.rec.TraceUops {
+		u.dispCycle = c.now
+	}
 	c.rs = append(c.rs, u)
 	c.trace("DISPATCH    t%d %s", t.id, traceUop(u))
 	t.inflight++

@@ -1,5 +1,7 @@
 package core
 
+import "repro/internal/flight"
+
 // resolveBranch handles execution-time resolution of a correct-path
 // conditional branch: predictor training, and — for mispredictions —
 // either the selective flush of §4.2 or a conventional full flush.
@@ -54,6 +56,9 @@ func (c *Core) resolveSelective(t *thread, u *uop) {
 
 	t.pred.Resolve(u.pred, uint64(u.d.PC), u.d.Taken, false)
 	c.stats.SliceRecoveries++
+	if c.rec != nil {
+		c.recordMechanism(flight.EvRecoverSel, t, u, int64(len(mi.seg)))
+	}
 	c.trace("RECOVER-SEL t%d %s seg=%d", t.id, traceUop(u), len(mi.seg))
 	mi.resolved = true
 	if len(mi.seg) == 0 {
@@ -71,6 +76,9 @@ func (c *Core) resolveSelective(t *thread, u *uop) {
 	for _, w := range mi.wp {
 		if w.state == stFlushed || w.state == stCommitted {
 			continue
+		}
+		if c.rec != nil {
+			c.recordMechanism(flight.EvUnlink, t, w, int64(mi.branchSeq))
 		}
 		c.flushUop(t, w)
 		dispFlushed++
@@ -148,6 +156,9 @@ func (c *Core) conventionalFlush(t *thread, u *uop) {
 	// logical order, so resolve-path instructions of older misses —
 	// spliced before u — survive).
 	victims := t.list.RemoveRangeAfter(&u.node)
+	if c.rec != nil {
+		c.recordMechanism(flight.EvRecoverFull, t, u, int64(len(victims)))
+	}
 	for _, n := range victims {
 		c.releaseFlushed(t, n.Val)
 	}
@@ -260,6 +271,9 @@ func (c *Core) releaseFlushed(t *thread, w *uop) {
 		c.rsUsed--
 	}
 	w.state = stFlushed
+	if c.rec != nil {
+		c.recordUop(w, true)
+	}
 	c.space.Release()
 	needLQ, needSQ := resourceNeeds(w.d.Inst.Op)
 	if needLQ {

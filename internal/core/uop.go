@@ -39,6 +39,10 @@ type uop struct {
 	readyFE    int64 // cycle the uop may leave the frontend
 	doneAt     int64
 	issueCycle int64
+	// fetchCycle/dispCycle are recorded only while a flight recorder
+	// with TraceUops is attached (zero otherwise).
+	fetchCycle int64
+	dispCycle  int64
 	// age is the logical-age key for oldest-first issue selection:
 	// the program-order sequence for correct-path uops, and the
 	// mispredicted branch's sequence for its wrong-path uops.
@@ -204,6 +208,9 @@ func (c *Core) newUop(d emu.DynInst, t *thread) *uop {
 	u.d = d
 	u.t = t
 	u.node.Val = u
+	if c.rec != nil && c.rec.TraceUops {
+		u.fetchCycle = c.now
+	}
 	return u
 }
 

@@ -10,6 +10,7 @@ import (
 	"repro/internal/cache"
 	"repro/internal/core"
 	"repro/internal/emu"
+	"repro/internal/flight"
 	"repro/internal/isa"
 	"repro/internal/uncore"
 )
@@ -73,6 +74,10 @@ func ScaledMemConfig(cores int) MemConfig {
 	return m
 }
 
+// DefaultWatchdogCycles is the no-commit watchdog threshold used when
+// Config.WatchdogCycles is zero.
+const DefaultWatchdogCycles = 1_000_000
+
 // Config is a whole-system configuration.
 type Config struct {
 	Core  core.Config
@@ -80,18 +85,28 @@ type Config struct {
 	Cores int
 	// MaxCycles aborts runaway simulations.
 	MaxCycles int64
+	// WatchdogCycles aborts a run (with a diagnostic dump) when no core
+	// commits an instruction for this many consecutive cycles. 0 selects
+	// DefaultWatchdogCycles; negative values fail validation.
+	WatchdogCycles int64
 	// CheckIndependence turns on the emulator's slice-discipline
 	// checker (slower; for tests).
 	CheckIndependence bool
+	// Recorder, when non-nil, receives timeline samples (every
+	// Recorder.Interval cycles) and the cores' pipeline events — the
+	// opt-in flight recorder of internal/flight. Nil costs one pointer
+	// check per cycle and changes no results.
+	Recorder *flight.Recorder
 }
 
 // DefaultConfig is a single-core scaled configuration.
 func DefaultConfig() Config {
 	return Config{
-		Core:      core.DefaultConfig(),
-		Mem:       ScaledMemConfig(1),
-		Cores:     1,
-		MaxCycles: 2_000_000_000,
+		Core:           core.DefaultConfig(),
+		Mem:            ScaledMemConfig(1),
+		Cores:          1,
+		MaxCycles:      2_000_000_000,
+		WatchdogCycles: DefaultWatchdogCycles,
 	}
 }
 
@@ -124,11 +139,14 @@ type Result struct {
 	// of total cycles the memory bus was transferring.
 	DRAMLines uint64
 	DRAMBusy  float64
-	// Access counts per level (demand accesses, first core's private
-	// levels; LLC is shared).
+	// Access and miss counts per level, aggregated across every core's
+	// private hierarchy (the LLC is shared).
 	L1DAccesses uint64
+	L1DMisses   uint64
 	L2Accesses  uint64
+	L2Misses    uint64
 	LLCAccesses uint64
+	LLCMisses   uint64
 }
 
 // Run simulates the workload to completion and returns statistics.
@@ -137,6 +155,13 @@ func Run(cfg Config, w *Workload) (*Result, error) {
 	if len(w.Progs) != threadsTotal {
 		return nil, fmt.Errorf("sim: workload %s has %d programs for %d hardware threads",
 			w.Name, len(w.Progs), threadsTotal)
+	}
+
+	watchdog := cfg.WatchdogCycles
+	if watchdog == 0 {
+		watchdog = DefaultWatchdogCycles
+	} else if watchdog < 0 {
+		return nil, fmt.Errorf("sim: WatchdogCycles must be positive, got %d", cfg.WatchdogCycles)
 	}
 
 	llc, dram := uncore.Build(cfg.Mem.Uncore)
@@ -153,6 +178,7 @@ func Run(cfg Config, w *Workload) (*Result, error) {
 
 	// All machines share the workload's memory image.
 	mem := w.Mem
+	cfg.Core.Recorder = cfg.Recorder
 	cores := make([]*core.Core, cfg.Cores)
 	hiers := make([]*cache.Hierarchy, cfg.Cores)
 	ti := 0
@@ -177,6 +203,12 @@ func Run(cfg Config, w *Workload) (*Result, error) {
 		maxCycles = 2_000_000_000
 	}
 
+	rec := cfg.Recorder
+	var tl *timeline
+	if rec != nil && rec.Interval > 0 {
+		tl = newTimeline(rec, cfg.Cores)
+	}
+
 	var now int64
 	lastCommit, lastCommitCycle := uint64(0), int64(0)
 	for {
@@ -191,14 +223,12 @@ func Run(cfg Config, w *Workload) (*Result, error) {
 		}
 		if committed != lastCommit {
 			lastCommit, lastCommitCycle = committed, now
-		} else if now-lastCommitCycle > 1_000_000 {
-			var dump string
-			for _, c := range cores {
-				if !c.Done() {
-					dump += c.DumpState()
-				}
-			}
-			return nil, fmt.Errorf("sim: workload %s deadlocked at cycle %d:\n%s", w.Name, now, dump)
+		} else if now-lastCommitCycle > watchdog {
+			return nil, fmt.Errorf("sim: workload %s deadlocked at cycle %d:\n%s",
+				w.Name, now, deadlockDump(now, cores, rec))
+		}
+		if tl != nil && now%rec.Interval == 0 {
+			tl.sample(now, cores, hiers, llc)
 		}
 		done := true
 		for _, c := range cores {
@@ -226,17 +256,33 @@ func Run(cfg Config, w *Workload) (*Result, error) {
 		res.Total.Add(&s)
 	}
 	res.Total.Cycles = now
-	res.L1DMissRate = hiers[0].L1D.Stats().MissRate()
-	res.L2MissRate = hiers[0].L2.Stats().MissRate()
-	res.LLCMissRate = llc.Stats().MissRate()
-	for _, h := range hiers {
-		res.L1DAccesses += h.L1D.Stats().Accesses
-		res.L2Accesses += h.L2.Stats().Accesses
-	}
-	res.LLCAccesses = llc.Stats().Accesses
-	res.DRAMLines = dram.Accesses()
-	res.DRAMBusy = float64(dram.Accesses()) * dram.CyclesPerLine / float64(now)
+	collectCacheStats(res, hiers, llc, dram, now)
 	return res, nil
+}
+
+// collectCacheStats fills Result's cache counters, aggregating accesses
+// and misses across every core's private hierarchy (miss rates are
+// computed on the aggregated counts, not core 0's).
+func collectCacheStats(res *Result, hiers []*cache.Hierarchy, llc *cache.Cache, dram *cache.Memory, cycles int64) {
+	for _, h := range hiers {
+		l1d, l2 := h.L1D.Stats(), h.L2.Stats()
+		res.L1DAccesses += l1d.Accesses
+		res.L1DMisses += l1d.Misses
+		res.L2Accesses += l2.Accesses
+		res.L2Misses += l2.Misses
+	}
+	if res.L1DAccesses > 0 {
+		res.L1DMissRate = float64(res.L1DMisses) / float64(res.L1DAccesses)
+	}
+	if res.L2Accesses > 0 {
+		res.L2MissRate = float64(res.L2Misses) / float64(res.L2Accesses)
+	}
+	ls := llc.Stats()
+	res.LLCAccesses = ls.Accesses
+	res.LLCMisses = ls.Misses
+	res.LLCMissRate = ls.MissRate()
+	res.DRAMLines = dram.Accesses()
+	res.DRAMBusy = float64(dram.Accesses()) * dram.CyclesPerLine / float64(cycles)
 }
 
 // releaseBarriers implements the global OpenMP barrier: when every

@@ -74,6 +74,14 @@ func (t *Table) AddRow(cells ...any) {
 	t.rows = append(t.rows, row)
 }
 
+// Header returns the column headers.
+func (t *Table) Header() []string { return t.header }
+
+// Rows returns the formatted cells, row-major, in insertion order — the
+// machine-readable form of exactly what String renders, so a JSON export
+// and the text table can never disagree.
+func (t *Table) Rows() [][]string { return t.rows }
+
 // String renders the table.
 func (t *Table) String() string {
 	widths := make([]int, len(t.header))

@@ -1,0 +1,101 @@
+package blp
+
+import (
+	"encoding/json"
+	"io"
+	"math"
+)
+
+// MetricsSchemaVersion identifies the JSON layout of Report. Bump it on
+// any incompatible change to Report/FigureMetrics so downstream consumers
+// (CI artifact diffing, plotting scripts) can reject data they do not
+// understand instead of misreading it.
+const MetricsSchemaVersion = 1
+
+// Metric is a float64 that survives JSON: encoding/json rejects NaN and
+// ±Inf outright, but unmeasurable values are legitimate here (Speedup
+// against a zero-cycle run is NaN by contract). Those encode as null and
+// decode back as NaN.
+type Metric float64
+
+// MarshalJSON encodes NaN and ±Inf as null.
+func (m Metric) MarshalJSON() ([]byte, error) {
+	f := float64(m)
+	if math.IsNaN(f) || math.IsInf(f, 0) {
+		return []byte("null"), nil
+	}
+	return json.Marshal(f)
+}
+
+// UnmarshalJSON decodes null as NaN.
+func (m *Metric) UnmarshalJSON(b []byte) error {
+	if string(b) == "null" {
+		*m = Metric(math.NaN())
+		return nil
+	}
+	var f float64
+	if err := json.Unmarshal(b, &f); err != nil {
+		return err
+	}
+	*m = Metric(f)
+	return nil
+}
+
+// FigureMetrics is the machine-readable form of one Figure: the rendered
+// table (header plus formatted cells, exactly what Figure.String prints)
+// and the raw values keyed as Figure.Values keys them.
+type FigureMetrics struct {
+	ID     string            `json:"id"`
+	Title  string            `json:"title"`
+	Header []string          `json:"header"`
+	Rows   [][]string        `json:"rows"`
+	Notes  string            `json:"notes,omitempty"`
+	Values map[string]Metric `json:"values,omitempty"`
+}
+
+// Report is the versioned machine-readable output of an experiments run.
+type Report struct {
+	SchemaVersion int             `json:"schema_version"`
+	Figures       []FigureMetrics `json:"figures"`
+}
+
+// NewReport converts figures (nils skipped) into a Report at the current
+// schema version.
+func NewReport(figs ...*Figure) *Report {
+	r := &Report{SchemaVersion: MetricsSchemaVersion}
+	for _, f := range figs {
+		if f == nil {
+			continue
+		}
+		r.Figures = append(r.Figures, f.Metrics())
+	}
+	return r
+}
+
+// Metrics returns the figure's machine-readable form.
+func (f *Figure) Metrics() FigureMetrics {
+	m := FigureMetrics{
+		ID:    f.ID,
+		Title: f.Title,
+		Notes: f.Notes,
+	}
+	if f.Table != nil {
+		m.Header = f.Table.Header()
+		m.Rows = f.Table.Rows()
+	}
+	if len(f.Values) > 0 {
+		m.Values = make(map[string]Metric, len(f.Values))
+		for k, v := range f.Values {
+			m.Values[k] = Metric(v)
+		}
+	}
+	return m
+}
+
+// WriteJSON writes the report as indented JSON. Output is deterministic:
+// figures keep their order and encoding/json sorts the value maps' keys.
+func (r *Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}

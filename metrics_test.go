@@ -1,0 +1,132 @@
+package blp
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/stats"
+)
+
+// The metrics report must survive a JSON round trip: table cells intact,
+// values at full float precision, and NaN (a legitimate "unmeasurable"
+// marker, e.g. Speedup against a zero-cycle run) mapped through null
+// rather than crashing the encoder.
+func TestReportJSONRoundTrip(t *testing.T) {
+	f := &Figure{
+		ID:    "figX",
+		Title: "round-trip fixture",
+		Table: stats.NewTable("bench", "speedup"),
+		Notes: "fixture",
+	}
+	f.Table.AddRow("bfs", 1.2345678)
+	f.Table.AddRow("pr", "-")
+	f.set("bfs", 1.2345678)
+	f.set("pr", math.NaN())
+
+	var buf bytes.Buffer
+	if err := NewReport(f).WriteJSON(&buf); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+
+	var got Report
+	if err := json.Unmarshal(buf.Bytes(), &got); err != nil {
+		t.Fatalf("round trip failed to parse: %v", err)
+	}
+	if got.SchemaVersion != MetricsSchemaVersion {
+		t.Fatalf("schema_version = %d, want %d", got.SchemaVersion, MetricsSchemaVersion)
+	}
+	if len(got.Figures) != 1 {
+		t.Fatalf("got %d figures, want 1", len(got.Figures))
+	}
+	fm := got.Figures[0]
+	if fm.ID != "figX" || fm.Title != "round-trip fixture" || fm.Notes != "fixture" {
+		t.Fatalf("figure metadata mangled: %+v", fm)
+	}
+	if len(fm.Header) != 2 || fm.Header[0] != "bench" {
+		t.Fatalf("header mangled: %v", fm.Header)
+	}
+	if len(fm.Rows) != 2 || fm.Rows[0][1] != "1.235" || fm.Rows[1][1] != "-" {
+		t.Fatalf("rows mangled: %v", fm.Rows)
+	}
+	if float64(fm.Values["bfs"]) != 1.2345678 {
+		t.Fatalf("value lost precision: %v", fm.Values["bfs"])
+	}
+	if !math.IsNaN(float64(fm.Values["pr"])) {
+		t.Fatalf("NaN value did not round-trip via null: %v", fm.Values["pr"])
+	}
+	if !strings.Contains(buf.String(), `"pr": null`) {
+		t.Fatalf("NaN not encoded as null:\n%s", buf.String())
+	}
+}
+
+func TestMetricMarshalEdgeCases(t *testing.T) {
+	for _, v := range []float64{math.Inf(1), math.Inf(-1), math.NaN()} {
+		b, err := json.Marshal(Metric(v))
+		if err != nil {
+			t.Fatalf("Metric(%v): %v", v, err)
+		}
+		if string(b) != "null" {
+			t.Fatalf("Metric(%v) = %s, want null", v, b)
+		}
+	}
+	b, err := json.Marshal(Metric(2.5))
+	if err != nil || string(b) != "2.5" {
+		t.Fatalf("Metric(2.5) = %s, %v", b, err)
+	}
+}
+
+// A run with the flight recorder attached must produce the same Result as
+// one without (the recorder is observation only — its Options field is
+// excluded from the memoization key for the same reason), and the Chrome
+// trace it exports must contain the selective-flush mechanism events.
+func TestFlightRecorderNeutralAndTraces(t *testing.T) {
+	o := Options{Benchmark: "bfs", Scale: 6, Mode: SliceOuter}
+	base, err := Run(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rec := &FlightRecorder{Interval: 100, TraceUops: true}
+	or := o
+	or.Flight = rec
+	res, err := Run(or)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if res.Cycles != base.Cycles {
+		t.Fatalf("recorder changed timing: %d vs %d cycles", res.Cycles, base.Cycles)
+	}
+	if res.Stats != base.Stats {
+		t.Fatalf("recorder changed stats:\n%+v\n%+v", res.Stats, base.Stats)
+	}
+	if o.Key() != or.Key() {
+		t.Fatal("Flight must be excluded from the canonical key")
+	}
+
+	var trace bytes.Buffer
+	if err := rec.WriteChromeTrace(&trace); err != nil {
+		t.Fatal(err)
+	}
+	s := trace.String()
+	for _, want := range []string{`"sf-unlink"`, `"sf-splice"`, `"recover-selective"`, `"traceEvents"`} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("trace missing %s", want)
+		}
+	}
+	var parsed map[string]any
+	if err := json.Unmarshal(trace.Bytes(), &parsed); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+
+	var csv bytes.Buffer
+	if err := rec.WriteTimelineCSV(&csv); err != nil {
+		t.Fatal(err)
+	}
+	if lines := strings.Count(csv.String(), "\n"); lines < 2 {
+		t.Fatalf("timeline CSV has %d lines, want header plus samples", lines)
+	}
+}

@@ -29,6 +29,9 @@ type Runner struct {
 	simulated int // simulations actually executed
 	cached    int // requests served by an in-flight or completed duplicate
 	inFlight  int // simulations currently executing
+
+	// runFn stands in for blp.Run in tests; nil means Run.
+	runFn func(Options) (*Result, error)
 }
 
 // runnerCall is one singleflight cell: the first requester of a key runs
@@ -100,32 +103,51 @@ func (r *Runner) Run(o Options) (*Result, error) {
 	r.calls[key] = c
 	r.mu.Unlock()
 
+	r.execute(o, c)
+	return c.res, c.err
+}
+
+// execute runs the simulation for a call cell the caller just installed in
+// r.calls. Deferred cleanup guarantees that the semaphore slot is returned
+// and c.done is closed even when the simulation panics — a panic must not
+// strand duplicate requesters on c.done forever (it used to: the paths
+// after the run were straight-line code). A panic is converted into an
+// error shared by every waiter, so the whole sweep fails loudly instead of
+// deadlocking.
+func (r *Runner) execute(o Options, c *runnerCall) {
 	r.sem <- struct{}{}
 	r.mu.Lock()
 	r.inFlight++
 	r.mu.Unlock()
 
 	start := time.Now()
-	c.res, c.err = Run(o)
-	elapsed := time.Since(start)
+	// LIFO defers: the recover-and-release runs first, so done is closed
+	// (last) only after res/err and the counters are final.
+	defer close(c.done)
+	defer func() {
+		if p := recover(); p != nil {
+			c.res, c.err = nil, fmt.Errorf("blp: simulation %s panicked: %v", describeRun(o), p)
+		}
+		elapsed := time.Since(start)
+		r.mu.Lock()
+		r.inFlight--
+		r.simulated++
+		w := r.progress
+		r.mu.Unlock()
+		<-r.sem
+		if w != nil {
+			st := r.Stats()
+			fmt.Fprintf(w, "run %-32s %8s  [%d simulated, %d cached, %d in flight]\n",
+				describeRun(o), elapsed.Round(time.Millisecond),
+				st.Simulated, st.Cached, st.InFlight)
+		}
+	}()
 
-	r.mu.Lock()
-	r.inFlight--
-	r.simulated++
-	w := r.progress
-	line := ""
-	if w != nil {
-		line = fmt.Sprintf("run %-32s %8s  [%d simulated, %d cached, %d in flight]\n",
-			describeRun(o), elapsed.Round(time.Millisecond),
-			r.simulated, r.cached, r.inFlight)
+	run := r.runFn
+	if run == nil {
+		run = Run
 	}
-	r.mu.Unlock()
-	<-r.sem
-	close(c.done)
-	if w != nil {
-		io.WriteString(w, line)
-	}
-	return c.res, c.err
+	c.res, c.err = run(o)
 }
 
 // RunAll executes every request concurrently (each bounded by the worker

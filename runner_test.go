@@ -5,6 +5,7 @@ import (
 	"strings"
 	"sync"
 	"testing"
+	"time"
 )
 
 // Two spellings of the same run — zero-value defaults vs every default
@@ -117,6 +118,53 @@ func TestExplicitZeroOptions(t *testing.T) {
 	}
 	if _, err := Run(Options{Benchmark: "cc", Scale: 6, ROBBlockSize: Zero}); err == nil {
 		t.Fatal("zero ROB block size should fail core validation")
+	}
+}
+
+// A panicking simulation must not poison the Runner: the panic used to
+// escape Run before the semaphore slot was returned and c.done was closed,
+// so every duplicate requester of that key blocked forever and — with the
+// slot leaked — so did unrelated runs once the worker budget drained.
+// Both requesters must now receive the panic converted to an error, and
+// the Runner must stay usable afterwards.
+func TestRunnerPanicDoesNotDeadlock(t *testing.T) {
+	r := NewRunner(1)
+	r.runFn = func(Options) (*Result, error) { panic("injected failure") }
+	o := Options{Benchmark: "cc", Scale: 6}
+	errs := make(chan error, 2)
+	go func() { _, err := r.Run(o); errs <- err }()
+	go func() { _, err := r.Run(o); errs <- err }()
+	for i := 0; i < 2; i++ {
+		select {
+		case err := <-errs:
+			if err == nil || !strings.Contains(err.Error(), "panicked") {
+				t.Fatalf("want a panic-converted error, got %v", err)
+			}
+			if !strings.Contains(err.Error(), "injected failure") {
+				t.Fatalf("panic value lost from error: %v", err)
+			}
+		case <-time.After(30 * time.Second):
+			t.Fatal("requester deadlocked after simulation panic")
+		}
+	}
+
+	// The single worker slot must have been released: a fresh key on the
+	// same Runner still executes.
+	r.runFn = func(Options) (*Result, error) { return &Result{Cycles: 1}, nil }
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		if _, err := r.Run(Options{Benchmark: "bfs", Scale: 6}); err != nil {
+			t.Errorf("follow-up run failed: %v", err)
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("worker slot leaked by the panicking run")
+	}
+	if s := r.Stats(); s.InFlight != 0 {
+		t.Fatalf("%d runs still counted in flight", s.InFlight)
 	}
 }
 
