@@ -124,7 +124,11 @@ type Options struct {
 	WatchdogCycles int64
 	// Flight, when non-nil, records the run's timeline and pipeline
 	// events (see FlightRecorder). Output-only: it does not affect the
-	// simulation and is excluded from Key.
+	// simulation and is excluded from Key. Because the Runner memoizes
+	// by Key, a Runner.Run request whose key duplicates an in-flight or
+	// completed run is served from cache and records nothing — the
+	// recorder comes back empty (the Runner reports a notice on its
+	// progress writer). Use blp.Run when the recording must happen.
 	Flight *FlightRecorder
 }
 

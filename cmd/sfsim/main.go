@@ -77,11 +77,22 @@ func main() {
 		}
 		opts.Flight = rec
 	}
+	if *timelinePath == "" {
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "interval" {
+				log.Print("warning: -interval has no effect without -timeline")
+			}
+		})
+	}
 
 	if *compare && m != blp.SliceNone {
 		// Run the measured configuration and its baseline concurrently.
+		// Only the measured run records: the recorder is single-writer,
+		// and the exported trace/timeline should not interleave baseline
+		// events with the configuration under measurement.
 		b := opts
 		b.Mode = blp.SliceNone
+		b.Flight = nil
 		results, err := blp.NewRunner(2).RunAll([]blp.Options{opts, b})
 		if err != nil {
 			log.Fatal(err)

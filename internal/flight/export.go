@@ -4,6 +4,8 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
+	"strconv"
 	"strings"
 )
 
@@ -26,18 +28,29 @@ func (r *Recorder) WriteTimelineCSV(w io.Writer) error {
 		return err
 	}
 	for _, s := range r.samples {
-		_, err := fmt.Fprintf(w, "%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%s,%d,%.4f,%.3f,%.3f,%.3f\n",
+		_, err := fmt.Fprintf(w, "%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%s,%d,%.4f,%s,%s,%s\n",
 			s.Cycle, s.Core,
 			s.ROBUsed, s.ROBGaps, s.ROBFree,
 			s.RSUsed, s.LQUsed, s.SQUsed, s.Reserve,
 			s.InSlice, s.FRQ, s.Holes, s.Outstanding,
 			s.FetchStall, s.Committed, s.IPC,
-			s.L1DMPKI, s.L2MPKI, s.LLCMPKI)
+			mpkiCell(s.L1DMPKI), mpkiCell(s.L2MPKI), mpkiCell(s.LLCMPKI))
 		if err != nil {
 			return err
 		}
 	}
 	return nil
+}
+
+// mpkiCell renders an MPKI column value. NaN marks an interval with no
+// committed instructions — no meaningful rate — and renders as an empty
+// cell so a fully stalled interval is distinguishable from a miss-free
+// one.
+func mpkiCell(v float64) string {
+	if math.IsNaN(v) {
+		return ""
+	}
+	return strconv.FormatFloat(v, 'f', 3, 64)
 }
 
 // chromeEvent is one entry of the Chrome trace_event JSON array

@@ -154,12 +154,13 @@ func (r *Recorder) AddSample(s Sample) { r.samples = append(r.samples, s) }
 // Samples returns the timeline rows in recording order.
 func (r *Recorder) Samples() []Sample { return r.samples }
 
-// Events returns the retained events in chronological order.
+// Events returns the retained events in chronological order. The result
+// is a copy: mutating it does not affect the recorder.
 func (r *Recorder) Events() []Event {
-	if r.total <= uint64(len(r.ring)) {
-		return r.ring
-	}
 	out := make([]Event, 0, len(r.ring))
+	if r.total <= uint64(len(r.ring)) {
+		return append(out, r.ring...)
+	}
 	out = append(out, r.ring[r.next:]...)
 	out = append(out, r.ring[:r.next]...)
 	return out

@@ -3,6 +3,7 @@ package flight
 import (
 	"bytes"
 	"encoding/json"
+	"math"
 	"strings"
 	"testing"
 )
@@ -39,6 +40,30 @@ func TestRingUnderCapacity(t *testing.T) {
 	evs := r.Events()
 	if len(evs) != 2 || evs[0].TS != 1 || evs[1].TS != 2 {
 		t.Fatalf("bad retained events: %+v", evs)
+	}
+}
+
+func TestEventsReturnsCopy(t *testing.T) {
+	r := &Recorder{MaxEvents: 8}
+	r.Record(Event{TS: 1, Name: EvUnlink})
+	evs := r.Events()
+	evs[0].Name = "clobbered"
+	if got := r.Events()[0].Name; got != EvUnlink {
+		t.Fatalf("mutating Events() result changed recorder state: %q", got)
+	}
+}
+
+func TestTimelineCSVNaNRendersEmpty(t *testing.T) {
+	r := &Recorder{Interval: 100}
+	r.AddSample(Sample{Cycle: 100, FetchStall: "resolve",
+		L1DMPKI: math.NaN(), L2MPKI: math.NaN(), LLCMPKI: math.NaN()})
+	var b bytes.Buffer
+	if err := r.WriteTimelineCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(b.String()), "\n")
+	if !strings.HasSuffix(lines[1], ",,,") {
+		t.Fatalf("zero-commit interval MPKI should render as empty cells: %s", lines[1])
 	}
 }
 

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"math"
 	"strings"
 
 	"repro/internal/cache"
@@ -71,9 +72,12 @@ func (tl *timeline) sample(now int64, cores []*core.Core, hiers []*cache.Hierarc
 }
 
 // mpki returns misses per kilo committed instructions for one interval.
+// An interval that committed nothing has no meaningful rate — NaN (an
+// empty timeline CSV cell) keeps a fully stalled interval with
+// outstanding misses distinguishable from a healthy miss-free one.
 func mpki(misses, committed uint64) float64 {
 	if committed == 0 {
-		return 0
+		return math.NaN()
 	}
 	return 1000 * float64(misses) / float64(committed)
 }

@@ -90,12 +90,21 @@ func (r *Runner) Stats() RunnerStats {
 // canonical Options key simulates (waiting for a worker slot); duplicates
 // block until that simulation finishes and share its result. Safe for
 // concurrent use.
+//
+// Options.Flight is excluded from the memoization key: a request served
+// by a duplicate performs no simulation, so its recorder stays empty (a
+// notice is written to the progress writer, if set).
 func (r *Runner) Run(o Options) (*Result, error) {
 	key := o.Key()
 	r.mu.Lock()
 	if c, ok := r.calls[key]; ok {
 		r.cached++
+		w := r.progress
 		r.mu.Unlock()
+		if w != nil && o.Flight != nil {
+			fmt.Fprintf(w, "run %-32s served from cache; its flight recorder stays empty\n",
+				describeRun(o))
+		}
 		<-c.done
 		return c.res, c.err
 	}
