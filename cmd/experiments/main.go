@@ -23,6 +23,7 @@ import (
 	"log"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -35,13 +36,42 @@ func main() {
 
 	fig := flag.String("fig", "all", "which experiment: table1, motivation, 4..11, or all")
 	delta := flag.Int("delta", 0, "input-scale delta (negative = smaller/faster)")
-	cores := flag.Int("cores", 4, "core count for fig10")
-	sizeDelta := flag.Int("sizedelta", 1, "extra input-scale steps for fig10's multicore runs")
+	cores := flag.Int("cores", 16, "core count for fig10")
+	sizeDelta := flag.Int("sizedelta", 3, "extra input-scale steps for fig10's multicore runs")
 	jobs := flag.Int("jobs", runtime.NumCPU(), "max concurrent simulations (shared across figures)")
 	quiet := flag.Bool("quiet", false, "suppress the per-run progress line on stderr")
 	asJSON := flag.Bool("json", false, "emit the machine-readable metrics report (JSON) on stdout instead of text tables")
 	metrics := flag.String("metrics", "", "also write the metrics report (JSON) to this file")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile (after all runs) to this file")
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatal(err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				log.Fatal(err)
+			}
+			defer f.Close()
+			runtime.GC() // settle live-heap numbers before the snapshot
+			if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+				log.Fatal(err)
+			}
+		}()
+	}
 
 	r := blp.NewRunner(*jobs)
 	if !*quiet {

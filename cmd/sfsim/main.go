@@ -16,6 +16,8 @@ import (
 	"io"
 	"log"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	blp "repro"
@@ -45,7 +47,29 @@ func main() {
 	timelinePath := flag.String("timeline", "", "write the interval occupancy/IPC/MPKI timeline (CSV) to this file")
 	interval := flag.Int64("interval", 1000, "timeline sampling interval in cycles")
 	watchdog := flag.Int64("watchdog", 0, "deadlock watchdog threshold in no-commit cycles (0 = default)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the simulation to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile (after the run) to this file")
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatal(err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memprofile != "" {
+		defer writeFile(*memprofile, func(w io.Writer) error {
+			runtime.GC() // settle live-heap numbers before the snapshot
+			return pprof.Lookup("allocs").WriteTo(w, 0)
+		})
+	}
 
 	var m blp.SliceMode
 	switch *mode {

@@ -78,8 +78,11 @@ type Cache struct {
 	clock   uint64
 	stats   Stats
 
-	// MSHR occupancy: completion times of outstanding misses.
-	mshr []int64
+	// MSHR occupancy: completion times of outstanding misses, as a binary
+	// min-heap — mshrDelay only ever consumes the earliest completion, so
+	// expired entries are dropped lazily from the top instead of filtering
+	// the whole slice on every miss.
+	mshr minHeap
 
 	// Stride prefetcher state.
 	stride map[uint64]*strideEntry
@@ -159,30 +162,60 @@ func (c *Cache) mshrDelay(now int64) int64 {
 		return now
 	}
 	// Drop completed entries.
-	live := c.mshr[:0]
-	for _, t := range c.mshr {
-		if t > now {
-			live = append(live, t)
-		}
+	for len(c.mshr) > 0 && c.mshr[0] <= now {
+		c.mshr.pop()
 	}
-	c.mshr = live
 	if len(c.mshr) < c.cfg.MSHRs {
 		return now
 	}
-	earliest := c.mshr[0]
-	ei := 0
-	for i, t := range c.mshr {
-		if t < earliest {
-			earliest, ei = t, i
+	// Full: the new miss takes over the earliest-completing entry's slot.
+	return c.mshr.pop()
+}
+
+// minHeap is a binary min-heap of completion times.
+type minHeap []int64
+
+func (h *minHeap) push(v int64) {
+	*h = append(*h, v)
+	s := *h
+	j := len(s) - 1
+	for j > 0 {
+		i := (j - 1) / 2
+		if s[i] <= s[j] {
+			break
 		}
+		s[i], s[j] = s[j], s[i]
+		j = i
 	}
-	c.mshr = append(c.mshr[:ei], c.mshr[ei+1:]...)
-	return earliest
+}
+
+func (h *minHeap) pop() int64 {
+	s := *h
+	n := len(s) - 1
+	v := s[0]
+	s[0] = s[n]
+	i := 0
+	for {
+		j := 2*i + 1
+		if j >= n {
+			break
+		}
+		if k := j + 1; k < n && s[k] < s[j] {
+			j = k
+		}
+		if s[i] <= s[j] {
+			break
+		}
+		s[i], s[j] = s[j], s[i]
+		i = j
+	}
+	*h = s[:n]
+	return v
 }
 
 func (c *Cache) trackMiss(doneAt int64) {
 	if c.cfg.MSHRs > 0 {
-		c.mshr = append(c.mshr, doneAt)
+		c.mshr.push(doneAt)
 	}
 }
 

@@ -180,3 +180,79 @@ func TestHierarchy(t *testing.T) {
 		t.Fatalf("L1D hit latency %d", hit-1000)
 	}
 }
+
+// TestMSHRHeapMatchesScan pins the min-heap MSHR model to the original
+// linear-scan semantics: drop entries completed by now, and when all MSHRs
+// are still busy, the new miss inherits the earliest completion time.
+func TestMSHRHeapMatchesScan(t *testing.T) {
+	f := func(times []int64, mshrs uint8) bool {
+		n := int(mshrs%8) + 1
+		c := &Cache{cfg: Config{MSHRs: n}}
+		var ref []int64 // the pre-heap representation
+		now := int64(0)
+		for _, dt := range times {
+			if dt < 0 {
+				dt = -dt
+			}
+			now += dt % 50
+			// Reference: filter expired, then take the earliest if full.
+			live := ref[:0]
+			for _, at := range ref {
+				if at > now {
+					live = append(live, at)
+				}
+			}
+			ref = live
+			want := now
+			if len(ref) >= n {
+				ei := 0
+				for i, at := range ref {
+					if at < ref[ei] {
+						ei = i
+					}
+				}
+				want = ref[ei]
+				ref = append(ref[:ei], ref[ei+1:]...)
+			}
+			got := c.mshrDelay(now)
+			if got != want {
+				t.Logf("mshrDelay(%d) = %d, want %d", now, got, want)
+				return false
+			}
+			done := want + 100 + dt%97
+			c.trackMiss(done)
+			ref = append(ref, done)
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// BenchmarkMSHRFull drives a stream of misses through a cache whose MSHRs
+// are permanently saturated (tiny cache, huge stride, fills slower than the
+// request rate), the path where occupancy tracking cost is hottest.
+func BenchmarkMSHRFull(b *testing.B) {
+	mem := NewMemory(400, 64, 64)
+	c := New(Config{Name: "b", SizeBytes: 4 << 10, Ways: 4, HitLatency: 4, MSHRs: 32}, mem)
+	b.ReportAllocs()
+	now := int64(0)
+	for i := 0; i < b.N; i++ {
+		// Distinct sets, never reused: every access is a demand miss.
+		addr := uint64(i) * 4096
+		c.Access(addr, now, false, false)
+		now += 2 // misses arrive far faster than the 400-cycle fills
+	}
+}
+
+// BenchmarkCacheHit measures the hit path for contrast.
+func BenchmarkCacheHit(b *testing.B) {
+	mem := NewMemory(100, 64, 64)
+	c := newTestCache(4, 4, mem)
+	c.Access(0x1000, 0, false, false)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Access(0x1000, int64(i)+1000, false, false)
+	}
+}

@@ -112,17 +112,25 @@ func (c *Core) release(t *thread, u *uop) {
 	u.state = stCommitted
 	c.stats.Committed++
 	c.committedThisCycle++
+	c.activity = true
 	if c.rec != nil {
 		c.recordUop(u, false)
 	}
-	c.trace("COMMIT      t%d %s", t.id, traceUop(u))
+	if c.traceOn {
+		c.trace("COMMIT      t%d %s", t.id, traceUop(u))
+	}
 }
 
 // removeStore drops a retired or flushed store from the forwarding list.
+// Swap-remove: youngestOlderStore selects by sequence number, never by
+// list position, so the order of t.stores is free.
 func (t *thread) removeStore(u *uop) {
 	for i, s := range t.stores {
 		if s == u {
-			t.stores = append(t.stores[:i], t.stores[i+1:]...)
+			last := len(t.stores) - 1
+			t.stores[i] = t.stores[last]
+			t.stores[last] = nil
+			t.stores = t.stores[:last]
 			return
 		}
 	}

@@ -76,6 +76,14 @@ type Config struct {
 	// MaxCycles aborts runaway simulations (0 = no limit).
 	MaxCycles int64
 
+	// ForceCycleAccurate disables the event-driven fast paths — wakeup-
+	// driven issue selection and the sim driver's idle-cycle fast-forward
+	// — and steps every cycle with the legacy full-RS scan. The two modes
+	// produce byte-identical results (the equivalence test in
+	// internal/sim enforces it); this knob exists for that test and for
+	// debugging scheduling discrepancies.
+	ForceCycleAccurate bool
+
 	// Trace, when non-nil, receives one line per pipeline event (fetch,
 	// dispatch, issue, commit, flush, recovery) — the debugging view of
 	// the selective-flush mechanism. Expensive; use with small inputs.

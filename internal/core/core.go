@@ -1,7 +1,6 @@
 package core
 
 import (
-	"container/heap"
 	"fmt"
 
 	"repro/internal/cache"
@@ -33,18 +32,32 @@ type Core struct {
 	// non-zero, resource reservation for resolve paths is active (§4.7).
 	inSliceCount int
 
-	rs        []*uop      // dispatched, waiting to issue (dispatch order)
-	seenMiss  []*missInfo // per-cycle scratch for resolve-dispatch ordering
-	ready_    []*uop      // per-cycle scratch for age-sorted ready instructions
-	longUntil []int64     // completion times of in-flight long-latency loads
-	events    eventHeap
-	pool      []*uop
-	nextID    uint64
+	rs []*uop // legacy scan path only: dispatched, waiting to issue (dispatch order)
+	// readyQ holds uops whose operands are all available, awaiting an
+	// issue port; specials holds operand-ready uops whose issue is gated
+	// on a polled condition (reduce-at-head, barrier release).
+	readyQ       []readyRef
+	specials     []readyRef
+	ready_       []*uop      // per-cycle scratch for age-sorted ready instructions
+	resolveCands []*missInfo // per-cycle scratch for resolve-dispatch ordering
+	longUntil    []int64     // completion times of in-flight long-latency loads
+	events       eventHeap
+	pool         []*uop
+	nextID       uint64
+	dispSeqCtr   uint64 // dispatch-order tie-break counter
+	forceCyc     bool   // cfg.ForceCycleAccurate cached
 
 	now                int64
 	stats              Stats
 	committedThisCycle int
 	traced             int64
+	// traceOn caches cfg.Trace != nil so hot paths can skip building
+	// trace arguments entirely.
+	traceOn bool
+	// activity records whether this cycle changed any pipeline state
+	// (completion, commit, issue, dispatch, fetch delivery); the idle
+	// fast-forward in NextWake consults it.
+	activity bool
 
 	fetchRR    int
 	dispatchRR int
@@ -60,11 +73,13 @@ func NewCore(id int, cfg Config, hier *cache.Hierarchy, machines []*emu.Machine)
 		return nil, fmt.Errorf("core: %d machines for SMT%d", len(machines), cfg.SMT)
 	}
 	c := &Core{
-		cfg:   cfg,
-		id:    id,
-		hier:  hier,
-		rec:   cfg.Recorder,
-		space: rob.NewSpace(cfg.ROBSize, cfg.ROBBlockSize),
+		cfg:      cfg,
+		id:       id,
+		hier:     hier,
+		rec:      cfg.Recorder,
+		space:    rob.NewSpace(cfg.ROBSize, cfg.ROBBlockSize),
+		traceOn:  cfg.Trace != nil,
+		forceCyc: cfg.ForceCycleAccurate,
 	}
 	for i, m := range machines {
 		c.threads = append(c.threads, newThread(i, c, m))
@@ -111,6 +126,7 @@ func (c *Core) ReleaseBarrier(i int) {
 func (c *Core) Cycle(now int64) {
 	c.now = now
 	c.committedThisCycle = 0
+	c.activity = false
 
 	c.complete()
 	c.commit()
@@ -120,6 +136,8 @@ func (c *Core) Cycle(now int64) {
 	c.fetch()
 	if c.stats.FetchNormal+c.stats.FetchWrong+c.stats.FetchResolve == fetchedBefore {
 		c.stats.FetchIdle++
+	} else {
+		c.activity = true
 	}
 
 	if debugChecks {
@@ -142,18 +160,151 @@ func (c *Core) Cycle(now int64) {
 // branch recovery for resolved mispredictions.
 func (c *Core) complete() {
 	for len(c.events) > 0 && c.events[0].at <= c.now {
-		ev := heap.Pop(&c.events).(event)
+		ev := c.events.pop()
 		u := ev.u
 		if u.id != ev.id || u.state != stIssued {
 			continue // stale event for a flushed/recycled uop
 		}
 		u.state = stDone
 		u.doneAt = ev.at
+		c.activity = true
+		c.wakeWaiters(u)
 		if u.d.IsBranch() && !u.d.Wrong {
 			c.resolveBranch(u)
 		}
 	}
 }
+
+// farFuture is NextWake's "no internal wake source" value; the sim driver
+// caps every jump at the watchdog deadline and the next timeline sample,
+// so an idle core with no timers simply waits on external events (barrier
+// release, other cores).
+const farFuture = int64(1) << 62
+
+// NextWake reports the earliest future cycle at which this core's state
+// can change, for the sim driver's idle fast-forward: now+1 when the
+// current cycle did anything (or something is already issuable), else the
+// minimum over the pending wake sources — the next completion event
+// (which also bounds every longUntil expiry and MSHR fill, since those
+// times were scheduled as events), frontend-delay expiries, fetch-stall
+// and redirect timers. redirectUntil participates even though it gates
+// nothing directly: classifyStall compares it against now, and SkipTo's
+// batch accounting is only valid while that comparison cannot flip.
+//
+// Every non-timed stall is covered by one of those sources: dispatch
+// blocked on resources needs a commit or flush (a completion event);
+// commit blocked needs a completion or a dispatch; fetch blocked on a
+// barrier or fence waits for the simulator release (the driver re-polls
+// after releaseBarriers) or a resolution event. If no source exists the
+// core is deadlocked, and the watchdog cap makes the driver tick through
+// to the firing cycle exactly as the per-cycle loop would.
+func (c *Core) NextWake() int64 {
+	if c.activity || len(c.readyQ) > 0 {
+		return c.now + 1
+	}
+	for _, e := range c.specials {
+		if e.u.id == e.id && e.u.state == stWaiting && c.specialReady(e.u) {
+			return c.now + 1
+		}
+	}
+	wake := farFuture
+	if len(c.events) > 0 {
+		wake = c.events[0].at
+	}
+	for _, t := range c.threads {
+		if t.done {
+			continue
+		}
+		if len(t.frontend) > 0 {
+			if r := t.frontend[0].readyFE; r > c.now && r < wake {
+				wake = r
+			}
+		}
+		for _, mi := range t.resolveMisses {
+			if mi.feqHead < len(mi.feq) {
+				if r := mi.feq[mi.feqHead].readyFE; r > c.now && r < wake {
+					wake = r
+				}
+			}
+		}
+		if t.redirectUntil > c.now && t.redirectUntil < wake {
+			wake = t.redirectUntil
+		}
+		// Fetch: mirror pickFetchThread's gating. A thread that could
+		// fetch right now means no idle window at all (it would only be
+		// in this state transiently — a fetchable thread fetches).
+		if t.finishedFetching() && t.resolving == nil {
+			continue
+		}
+		if t.fetchStallUntil > c.now {
+			if t.fetchStallUntil < wake {
+				wake = t.fetchStallUntil
+			}
+			continue
+		}
+		if (t.resolving == nil || t.resolving.stall != nil) &&
+			len(t.frontend) >= c.cfg.FrontendQueue {
+			continue // unblocks via dispatch, i.e. an event or readyFE expiry
+		}
+		if t.nextFetchPC() >= 0 {
+			return c.now + 1
+		}
+	}
+	return wake
+}
+
+// SkipTo fast-forwards the core over cycles now+1..target, all of which
+// are guaranteed idle by NextWake (the driver only jumps to min(NextWake)
+// - 1, capped at the next timeline sample and the watchdog deadline). It
+// replicates exactly what per-cycle stepping would have recorded: the
+// per-cycle stats (FetchIdle, occupancy and outstanding-miss sums, the
+// cycle-stack component — constant across the window because every input
+// of classifyStall is pipeline state that cannot change without activity,
+// and the one time comparison is bounded by the jump), the round-robin
+// counters that advance even on idle cycles, and the hole-list compaction
+// an idle dispatch would perform. The cycle-stack additions stay exact:
+// all values are multiples of 1/CommitWidth far below 2^53, so batched
+// float adds equal repeated ones bit-for-bit.
+func (c *Core) SkipTo(target int64) {
+	delta := target - c.now
+	if delta <= 0 {
+		return
+	}
+	// Classify once at the first skipped cycle; constant over the window.
+	c.now++
+	for _, t := range c.threads {
+		t.oldestHoleSeq() // idle dispatch would compact holes/unresolved
+	}
+	t, head := c.oldestHead()
+	if head != nil && head.spliceHold != nil && !head.spliceHold.segDispatched && !head.spliceHold.cancelled {
+		c.stats.HoldSplice += uint64(delta)
+	}
+	switch c.classifyStall(t, head) {
+	case stallMem:
+		c.stats.StackMem += float64(delta)
+		c.stats.HoldMem += uint64(delta)
+	case stallBranch:
+		c.stats.StackBranch += float64(delta)
+	case stallExec:
+		c.stats.StackExec += float64(delta)
+	default:
+		c.stats.StackOther += float64(delta)
+	}
+	c.stats.FetchIdle += uint64(delta)
+	c.stats.ROBOccupancySum += uint64(delta) * uint64(c.space.Used())
+	c.stats.OutstandingSum += uint64(delta) * uint64(len(c.longUntil))
+	// Idle cycles still advance the arbitration counters: fetch and
+	// dispatch by one, commit by one full thread rotation.
+	c.fetchRR += int(delta)
+	c.dispatchRR += int(delta)
+	c.commitRR += int(delta) * len(c.threads)
+	c.now = target
+	c.stats.Cycles = target
+}
+
+// LastCycleActive reports whether the most recent Cycle changed pipeline
+// state (used by equivalence tests to validate NextWake's idle claims).
+func (c *Core) LastCycleActive() bool { return c.activity }
 
 // classPorts caps per-class issue bandwidth (a simplified Skylake port
 // map: 4 ALU ports, 2 load, 1 store-address, 2 branch-capable, one

@@ -1,7 +1,6 @@
 package core
 
 import (
-	"container/heap"
 	"testing"
 
 	"repro/internal/emu"
@@ -67,11 +66,11 @@ func TestStatsAdd(t *testing.T) {
 func TestEventHeapOrder(t *testing.T) {
 	var h eventHeap
 	for _, at := range []int64{5, 1, 9, 3} {
-		heap.Push(&h, event{at: at})
+		h.push(event{at: at})
 	}
 	prev := int64(-1)
-	for h.Len() > 0 {
-		e := heap.Pop(&h).(event)
+	for len(h) > 0 {
+		e := h.pop()
 		if e.at < prev {
 			t.Fatalf("heap out of order: %d after %d", e.at, prev)
 		}

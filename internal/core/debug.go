@@ -17,18 +17,15 @@ func resolvingIdx(mi *missInfo) int {
 // every live hole. Enabled in tests via debugChecks.
 func (c *Core) checkInvariants() {
 	for _, t := range c.threads {
-		inFE := map[*missInfo]int{}
-		for _, w := range t.resolveFE {
-			inFE[w.resolveOf]++
-		}
 		for _, mi := range t.holes {
 			if mi.cancelled || mi.segDispatched {
 				continue
 			}
-			got := mi.dispatched + inFE[mi] + (len(mi.seg) - mi.fetched)
+			inFE := len(mi.feq) - mi.feqHead
+			got := mi.dispatched + inFE + (len(mi.seg) - mi.fetched)
 			if got != len(mi.seg) {
 				panic(fmt.Sprintf("core %d @%d: miss br=#%d accounting broken: disp=%d fe=%d unfetched=%d seg=%d\n%s",
-					c.id, c.now, mi.branchSeq, mi.dispatched, inFE[mi],
+					c.id, c.now, mi.branchSeq, mi.dispatched, inFE,
 					len(mi.seg)-mi.fetched, len(mi.seg), c.DumpState()))
 			}
 		}
@@ -80,13 +77,14 @@ func (c *Core) DumpState() string {
 			u := t.frontend[0]
 			fmt.Fprintf(&b, "   feHead: #%d %v wrong=%v resolve=%v readyFE=%d\n",
 				u.d.Seq, u.d.Inst, u.d.Wrong, u.resolvePath, u.readyFE)
-			for k, w := range t.resolveFE {
-				if k > 4 {
-					fmt.Fprintf(&b, "   rfe: ... %d total\n", len(t.resolveFE))
-					break
+			for _, mi := range t.resolveMisses {
+				n := len(mi.feq) - mi.feqHead
+				if n == 0 {
+					continue
 				}
-				fmt.Fprintf(&b, "   rfe[%d]: #%d %v readyFE=%d missBr=#%d priv=%v\n",
-					k, w.d.Seq, w.d.Inst, w.readyFE, w.resolveOf.branchSeq,
+				w := mi.feq[mi.feqHead]
+				fmt.Fprintf(&b, "   rfe: missBr=#%d queued=%d head=#%d %v readyFE=%d priv=%v\n",
+					mi.branchSeq, n, w.d.Seq, w.d.Inst, w.readyFE,
 					c.privileged(t, w))
 			}
 			fmt.Fprintf(&b, "   oldestHole=%d holes=%d\n", t.oldestHoleSeq(), len(t.holes))

@@ -8,8 +8,9 @@ import (
 // dispatch renames and inserts fetched instructions into the window, up to
 // DispatchWidth per cycle, round-robin across SMT threads.
 //
-// Each thread has two frontend queues: the regular stream (frontend) and
-// the resolve-path stream (resolveFE), which carries correct paths being
+// Each thread has two frontend streams: the regular stream (frontend) and
+// the resolve-path stream (one FIFO per miss, listed in resolveMisses),
+// which carries correct paths being
 // spliced after selective flushes. The resolve stream has dispatch
 // priority — it is the commit-critical path, and in the paper's hardware
 // regular fetch is parked at the regular-fetch checkpoint while the
@@ -48,48 +49,51 @@ func (c *Core) dispatch() {
 // concurrently. The oldest hole additionally may take the very last
 // entry, which is the §4.7 deadlock-freedom guarantee.
 func (c *Core) dispatchResolve(t *thread, oldestHole uint64) bool {
-	// Collect the first queued instruction of each miss (segment order
-	// within a miss), then dispatch oldest-miss-first: the oldest hole
-	// is the commit-critical path and gets the dispatch bandwidth;
-	// younger holes fill spare slots.
-	c.seenMiss = c.seenMiss[:0]
-	type cand struct {
-		u *uop
-		k int
+	// Each miss keeps its own fetched-instruction FIFO (missInfo.feq with
+	// an index cursor — pops are O(1)); the candidates are the queue
+	// heads whose frontend delay expired. Dispatch oldest-miss-first: the
+	// oldest hole is the commit-critical path and gets the dispatch
+	// bandwidth; younger holes fill spare slots.
+	if len(t.resolveMisses) == 0 {
+		return false
 	}
-	var cands []cand
-	for k, u := range t.resolveFE {
-		if u.readyFE > c.now {
-			break // fetch order implies readyFE order
-		}
-		seen := false
-		for _, mi := range c.seenMiss {
-			if mi == u.resolveOf {
-				seen = true
-				break
-			}
-		}
-		if seen {
+	cands := c.resolveCands[:0]
+	live := t.resolveMisses[:0]
+	for _, mi := range t.resolveMisses {
+		if mi.feqHead >= len(mi.feq) {
+			// Fully dispatched (for now): drop from the list, keeping
+			// the queue's capacity for a later resume of this miss.
+			mi.inResolveList = false
+			mi.feq = mi.feq[:0]
+			mi.feqHead = 0
 			continue
 		}
-		c.seenMiss = append(c.seenMiss, u.resolveOf)
-		cands = append(cands, cand{u, k})
+		live = append(live, mi)
+		if mi.feq[mi.feqHead].readyFE <= c.now {
+			cands = append(cands, mi)
+		}
 	}
+	t.resolveMisses = live
+	ok := false
 	for len(cands) > 0 {
 		best := 0
 		for i := 1; i < len(cands); i++ {
-			if cands[i].u.resolveOf.branchSeq < cands[best].u.resolveOf.branchSeq {
+			if cands[i].branchSeq < cands[best].branchSeq {
 				best = i
 			}
 		}
-		if c.tryDispatch(t, cands[best].u, oldestHole) {
-			k := cands[best].k
-			t.resolveFE = append(t.resolveFE[:k], t.resolveFE[k+1:]...)
-			return true
+		mi := cands[best]
+		if c.tryDispatch(t, mi.feq[mi.feqHead], oldestHole) {
+			mi.feq[mi.feqHead] = nil
+			mi.feqHead++
+			ok = true
+			break
 		}
-		cands = append(cands[:best], cands[best+1:]...)
+		cands[best] = cands[len(cands)-1]
+		cands = cands[:len(cands)-1]
 	}
-	return false
+	c.resolveCands = cands[:0]
+	return ok
 }
 
 // dispatchRegular dispatches the head of the regular frontend queue.
@@ -160,6 +164,7 @@ func (c *Core) tryDispatch(t *thread, u *uop, oldestHole uint64) bool {
 			}
 		}
 		c.freeUop(u)
+		c.activity = true
 		return true
 	}
 
@@ -273,8 +278,16 @@ func (c *Core) tryDispatch(t *thread, u *uop, oldestHole uint64) bool {
 	if c.rec != nil && c.rec.TraceUops {
 		u.dispCycle = c.now
 	}
-	c.rs = append(c.rs, u)
-	c.trace("DISPATCH    t%d %s", t.id, traceUop(u))
+	u.dispSeq = c.dispSeqCtr
+	c.dispSeqCtr++
+	if c.forceCyc {
+		c.rs = append(c.rs, u)
+	} else {
+		c.registerWakeups(u)
+	}
+	if c.traceOn {
+		c.trace("DISPATCH    t%d %s", t.id, traceUop(u))
+	}
 	t.inflight++
 	if op.IsStore() && !u.d.Wrong {
 		t.stores = append(t.stores, u)
@@ -284,6 +297,7 @@ func (c *Core) tryDispatch(t *thread, u *uop, oldestHole uint64) bool {
 	} else {
 		c.stats.DispCorrect++
 	}
+	c.activity = true
 	return true
 }
 

@@ -109,12 +109,17 @@ func (t *thread) enqueue(u *uop) {
 	t.frontend = append(t.frontend, u)
 }
 
-// enqueueResolve places a fetched resolve-path uop into the resolve
-// channel.
+// enqueueResolve places a fetched resolve-path uop into its miss's
+// resolve channel.
 func (t *thread) enqueueResolve(u *uop) {
 	u.readyFE = t.c.now + int64(t.c.cfg.FrontendDepth)
 	u.state = stFrontend
-	t.resolveFE = append(t.resolveFE, u)
+	mi := u.resolveOf
+	mi.feq = append(mi.feq, u)
+	if !mi.inResolveList {
+		mi.inResolveList = true
+		t.resolveMisses = append(t.resolveMisses, mi)
+	}
 }
 
 // predictBranch runs the direction predictor and BTB for a fetched
@@ -190,7 +195,9 @@ func (c *Core) fetchNormal(t *thread) bool {
 	if !mispred {
 		return stop
 	}
-	c.trace("FETCH-MISS  t%d %s predicted=%v", t.id, traceUop(u), u.predTaken)
+	if c.traceOn {
+		c.trace("FETCH-MISS  t%d %s predicted=%v", t.id, traceUop(u), u.predTaken)
+	}
 
 	// Misprediction detected (it will be acted on when the branch
 	// executes). Decide the recovery style now, as the frontend's fetch

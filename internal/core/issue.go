@@ -1,7 +1,7 @@
 package core
 
 import (
-	"sort"
+	"slices"
 
 	"repro/internal/isa"
 )
@@ -13,7 +13,66 @@ import (
 // resolved correct path of an old hole is the commit-critical work, and
 // must win ports and MSHRs over logically younger slices dispatched
 // earlier.
+//
+// Selection is wakeup-driven: a dispatched uop is parked on its producers'
+// waiter lists and enters the ready queue only when its last outstanding
+// operand completes (or is flushed), so the per-cycle cost scales with
+// wakeup events rather than RS occupancy. Uops whose readiness depends on
+// more than operand availability — commit-time reductions waiting for the
+// ROB head, barriers waiting for the simulator release — sit on a small
+// polled "specials" list instead.
+//
+// To keep results byte-identical to the full-RS scan (whose age sort is
+// unstable, so its tie order among equal-age uops — SMT threads share the
+// age space, and a miss's wrong-path uops all carry the branch's age — is
+// an artifact of the candidates' RS order), the candidate set is first
+// restored to dispatch order, which is exactly the order the RS scan
+// produces, before the same age sort runs. Config.ForceCycleAccurate
+// selects the legacy scan (issueScan) for equivalence testing.
 func (c *Core) issue() {
+	if c.forceCyc {
+		c.issueScan()
+		return
+	}
+	ready := c.ready_[:0]
+	rq := c.readyQ[:0]
+	for _, e := range c.readyQ {
+		if e.u.id != e.id || e.u.state != stWaiting {
+			continue // issued or flushed since it was enqueued
+		}
+		rq = append(rq, e)
+		ready = append(ready, e.u)
+	}
+	c.readyQ = rq
+	sp := c.specials[:0]
+	for _, e := range c.specials {
+		if e.u.id != e.id || e.u.state != stWaiting {
+			continue
+		}
+		sp = append(sp, e)
+		if c.specialReady(e.u) {
+			ready = append(ready, e.u)
+		}
+	}
+	c.specials = sp
+
+	// Restore dispatch order so the unstable age sort below sees the
+	// same input permutation as the legacy RS scan.
+	slices.SortFunc(ready, func(a, b *uop) int {
+		if a.dispSeq < b.dispSeq {
+			return -1
+		}
+		return 1
+	})
+	c.issueFrom(ready)
+	c.ready_ = ready[:0]
+}
+
+// issueScan is the legacy selection loop: scan the whole RS, test every
+// waiting uop's operands, and sort the ready set. Kept behind
+// Config.ForceCycleAccurate as the reference the event-driven path is
+// equivalence-tested against.
+func (c *Core) issueScan() {
 	live := c.rs[:0]
 	ready := c.ready_[:0]
 	for _, u := range c.rs {
@@ -26,7 +85,26 @@ func (c *Core) issue() {
 		}
 	}
 	c.rs = live
-	sort.Slice(ready, func(i, j int) bool { return ready[i].age < ready[j].age })
+	c.issueFrom(ready)
+	c.ready_ = ready[:0]
+}
+
+// issueFrom sorts the dispatch-ordered candidate set by age and issues up
+// to IssueWidth instructions within per-class port capacity. The sort is
+// intentionally unstable and must keep matching what sort.Slice did in the
+// original scan implementation: slices.SortFunc instantiates the same
+// pdqsort template, so equal-age candidates permute identically given the
+// same input order — without sort.Slice's per-call boxing allocations.
+func (c *Core) issueFrom(ready []*uop) {
+	slices.SortFunc(ready, func(a, b *uop) int {
+		if a.age < b.age {
+			return -1
+		}
+		if a.age > b.age {
+			return 1
+		}
+		return 0
+	})
 
 	budget := c.cfg.IssueWidth
 	var ports [16]int
@@ -42,17 +120,21 @@ func (c *Core) issue() {
 		budget--
 		c.issueOne(u)
 	}
-	c.ready_ = ready[:0]
 }
 
 // ready reports whether all of u's operands are available and any
-// execution-ordering constraint is met.
+// execution-ordering constraint is met (legacy scan path).
 func (c *Core) ready(u *uop) bool {
 	for i := 0; i < u.ndeps; i++ {
 		if !u.deps[i].ready(c.now) {
 			return false
 		}
 	}
+	return c.specialReady(u)
+}
+
+// specialReady checks the non-operand readiness conditions.
+func (c *Core) specialReady(u *uop) bool {
 	// Reduction updates execute only at the head of the ROB (§4.5),
 	// like atomics in conventional cores.
 	if u.reduce {
@@ -68,11 +150,66 @@ func (c *Core) ready(u *uop) bool {
 	return true
 }
 
+// registerWakeups parks a freshly dispatched uop on the waiter lists of
+// its not-yet-complete producers; a uop with no outstanding operands goes
+// straight to the ready (or specials) queue. Duplicate producers register
+// — and later decrement — once per dep slot, so the count stays balanced.
+func (c *Core) registerWakeups(u *uop) {
+	wait := 0
+	for i := 0; i < u.ndeps; i++ {
+		r := u.deps[i]
+		if r.ready(c.now) {
+			continue
+		}
+		r.u.waiters = append(r.u.waiters, waiter{u: u, id: u.id})
+		wait++
+	}
+	u.waitCount = wait
+	if wait == 0 {
+		c.enqueueReady(u)
+	}
+}
+
+// enqueueReady moves a uop whose operands are all available into the
+// selection pool: the ready queue, or the polled specials list when its
+// readiness has a non-operand component.
+func (c *Core) enqueueReady(u *uop) {
+	e := readyRef{u: u, id: u.id}
+	if u.reduce || u.d.Inst.Op == isa.Barrier {
+		c.specials = append(c.specials, e)
+	} else {
+		c.readyQ = append(c.readyQ, e)
+	}
+}
+
+// wakeWaiters notifies the dependents of a uop that just produced its
+// result (complete) or ceased to exist (flush): each live dependent's
+// outstanding-operand count drops, and the last wake enqueues it for
+// issue. The list is cleared — a dependent is decremented exactly once
+// per registration, and a recycled producer starts empty.
+func (c *Core) wakeWaiters(p *uop) {
+	if len(p.waiters) == 0 {
+		return
+	}
+	for _, w := range p.waiters {
+		u := w.u
+		if u.id != w.id || u.state != stWaiting {
+			continue // dependent already issued, flushed, or recycled
+		}
+		u.waitCount--
+		if u.waitCount == 0 {
+			c.enqueueReady(u)
+		}
+	}
+	p.waiters = p.waiters[:0]
+}
+
 // issueOne starts execution of u and schedules its completion.
 func (c *Core) issueOne(u *uop) {
 	u.state = stIssued
 	u.issueCycle = c.now
 	c.rsUsed--
+	c.activity = true
 
 	op := u.d.Inst.Op
 	var done int64

@@ -59,7 +59,9 @@ func (c *Core) resolveSelective(t *thread, u *uop) {
 	if c.rec != nil {
 		c.recordMechanism(flight.EvRecoverSel, t, u, int64(len(mi.seg)))
 	}
-	c.trace("RECOVER-SEL t%d %s seg=%d", t.id, traceUop(u), len(mi.seg))
+	if c.traceOn {
+		c.trace("RECOVER-SEL t%d %s seg=%d", t.id, traceUop(u), len(mi.seg))
+	}
 	mi.resolved = true
 	if len(mi.seg) == 0 {
 		mi.segDispatched = true
@@ -150,7 +152,9 @@ func (c *Core) resolveConventional(t *thread, u *uop) {
 // path (the trace cursor, which stopped right after the branch).
 func (c *Core) conventionalFlush(t *thread, u *uop) {
 	c.stats.ConvRecoveries++
-	c.trace("RECOVER-ALL t%d %s", t.id, traceUop(u))
+	if c.traceOn {
+		c.trace("RECOVER-ALL t%d %s", t.id, traceUop(u))
+	}
 
 	// 1. Flush dispatched younger instructions (linked-list order is
 	// logical order, so resolve-path instructions of older misses —
@@ -192,19 +196,24 @@ func (c *Core) conventionalFlush(t *thread, u *uop) {
 		fe = append(fe, w)
 	}
 	t.frontend = fe
-	rfe := t.resolveFE[:0]
-	for _, w := range t.resolveFE {
-		if w.resolveOf.branchSeq > branchSeq || w.resolveOf.cancelled {
-			if w.miss != nil && !w.miss.resolved && !w.miss.cancelled {
-				w.miss.cancelled = true
-				t.pendingMisses--
+	rms := t.resolveMisses[:0]
+	for _, mi := range t.resolveMisses {
+		if mi.branchSeq > branchSeq || mi.cancelled {
+			for _, w := range mi.feq[mi.feqHead:] {
+				if w.miss != nil && !w.miss.resolved && !w.miss.cancelled {
+					w.miss.cancelled = true
+					t.pendingMisses--
+				}
+				c.freeUop(w)
 			}
-			c.freeUop(w)
+			mi.feq = mi.feq[:0]
+			mi.feqHead = 0
+			mi.inResolveList = false
 			continue
 		}
-		rfe = append(rfe, w)
+		rms = append(rms, mi)
 	}
-	t.resolveFE = rfe
+	t.resolveMisses = rms
 
 	// 3. Cancel pending misses whose branch was flushed, then squash
 	// them from the FRQ. (The cancel flag is authoritative: the branch
@@ -271,6 +280,9 @@ func (c *Core) releaseFlushed(t *thread, w *uop) {
 		c.rsUsed--
 	}
 	w.state = stFlushed
+	// A flushed producer satisfies its dependents' operand checks
+	// (depRef.ready treats stFlushed as ready): wake them now.
+	c.wakeWaiters(w)
 	if c.rec != nil {
 		c.recordUop(w, true)
 	}

@@ -33,8 +33,11 @@ type thread struct {
 	// program-order-oldest-first (DESIGN.md, deviation 1).
 	fq *frq.Queue[*missInfo]
 
-	frontend  []*uop
-	resolveFE []*uop // fetched resolve-path instructions (own channel)
+	frontend []*uop
+	// resolveMisses lists the misses with fetched-but-undispatched
+	// resolve-path instructions (each miss queues them in missInfo.feq —
+	// the resolve channel, one FIFO per miss).
+	resolveMisses []*missInfo
 
 	// Fetch source state.
 	mode       fetchMode

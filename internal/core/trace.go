@@ -2,7 +2,10 @@ package core
 
 import "fmt"
 
-// trace emits one pipeline event line when tracing is enabled.
+// trace emits one pipeline event line when tracing is enabled. Hot call
+// sites gate on c.traceOn before building arguments: traceUop formats
+// unconditionally, and evaluating it on every dispatch/commit just to
+// discard the string here dominated the allocation profile.
 func (c *Core) trace(format string, args ...any) {
 	if c.cfg.Trace == nil {
 		return

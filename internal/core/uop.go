@@ -1,8 +1,6 @@
 package core
 
 import (
-	"container/heap"
-
 	"repro/internal/bpred"
 	"repro/internal/emu"
 	"repro/internal/rename"
@@ -35,6 +33,17 @@ type uop struct {
 	// the store being forwarded from.
 	deps  [4]depRef
 	ndeps int
+
+	// Wakeup-driven scheduling state: dependents to notify when this uop
+	// completes or is flushed, and this uop's own count of outstanding
+	// operands (it enters the ready queue when it reaches zero). waiters
+	// keeps its capacity across pool recycling.
+	waiters   []waiter
+	waitCount int
+	// dispSeq is the core-wide dispatch order, the tie-break that makes
+	// age-ordered selection deterministic (ages collide across SMT
+	// threads and within a miss's wrong path).
+	dispSeq uint64
 
 	readyFE    int64 // cycle the uop may leave the frontend
 	doneAt     int64
@@ -104,6 +113,21 @@ func (r depRef) ready(now int64) bool {
 	return false
 }
 
+// waiter is one entry on a producer's wakeup list: the dependent uop,
+// validity-checked by id like depRef (the dependent may be flushed and
+// recycled while the producer is still executing).
+type waiter struct {
+	u  *uop
+	id uint64
+}
+
+// readyRef is one entry of the ready queue or specials list, id-checked
+// the same way.
+type readyRef struct {
+	u  *uop
+	id uint64
+}
+
 // renameRef is the rename-table entry type.
 type renameRef = depRef
 
@@ -151,6 +175,13 @@ type missInfo struct {
 	// segDispatched is set when the whole segment entered the ROB.
 	dispatched    int
 	segDispatched bool
+	// feq queues this miss's fetched-but-undispatched resolve-path uops
+	// in segment order; feqHead is the consumed prefix (index cursor, so
+	// dispatch pops cost O(1)). inResolveList marks membership in the
+	// owning thread's resolveMisses list.
+	feq           []*uop
+	feqHead       int
+	inResolveList bool
 	// fetched counts segment instructions delivered to the frontend
 	// (resolve fetch can be preempted by an older miss and resumed).
 	fetched int
@@ -174,22 +205,55 @@ type event struct {
 	id uint64
 }
 
+// eventHeap is a concrete binary min-heap on event.at. The sift logic
+// mirrors container/heap exactly (same child-selection tie-breaks), so
+// the pop order of equal-time events — which the issue stage's selection
+// can observe — is identical to the previous container/heap version,
+// without the interface boxing that allocated on every push and pop.
 type eventHeap []event
 
-func (h eventHeap) Len() int           { return len(h) }
-func (h eventHeap) Less(i, j int) bool { return h[i].at < h[j].at }
-func (h eventHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)        { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	*h = old[:n-1]
+func (h *eventHeap) push(e event) {
+	*h = append(*h, e)
+	s := *h
+	j := len(s) - 1
+	for j > 0 {
+		i := (j - 1) / 2
+		if !(s[j].at < s[i].at) {
+			break
+		}
+		s[i], s[j] = s[j], s[i]
+		j = i
+	}
+}
+
+func (h *eventHeap) pop() event {
+	s := *h
+	n := len(s) - 1
+	s[0], s[n] = s[n], s[0]
+	// Sift down over s[:n].
+	i := 0
+	for {
+		j1 := 2*i + 1
+		if j1 >= n {
+			break
+		}
+		j := j1
+		if j2 := j1 + 1; j2 < n && s[j2].at < s[j1].at {
+			j = j2
+		}
+		if !(s[j].at < s[i].at) {
+			break
+		}
+		s[i], s[j] = s[j], s[i]
+		i = j
+	}
+	e := s[n]
+	*h = s[:n]
 	return e
 }
 
 func (c *Core) schedule(u *uop, at int64) {
-	heap.Push(&c.events, event{at: at, u: u, id: u.id})
+	c.events.push(event{at: at, u: u, id: u.id})
 }
 
 // uop pool.
@@ -199,7 +263,9 @@ func (c *Core) newUop(d emu.DynInst, t *thread) *uop {
 	if n := len(c.pool); n > 0 {
 		u = c.pool[n-1]
 		c.pool = c.pool[:n-1]
+		w := u.waiters
 		*u = uop{}
+		u.waiters = w[:0]
 	} else {
 		u = &uop{}
 	}
@@ -220,5 +286,6 @@ func (c *Core) freeUop(u *uop) {
 	}
 	u.miss = nil
 	u.t = nil
+	u.waiters = u.waiters[:0]
 	c.pool = append(c.pool, u)
 }

@@ -6,6 +6,7 @@ package sim
 
 import (
 	"fmt"
+	"os"
 
 	"repro/internal/cache"
 	"repro/internal/core"
@@ -77,6 +78,11 @@ func ScaledMemConfig(cores int) MemConfig {
 // DefaultWatchdogCycles is the no-commit watchdog threshold used when
 // Config.WatchdogCycles is zero.
 const DefaultWatchdogCycles = 1_000_000
+
+// paranoidFF, set via SFSIM_PARANOID=1, steps supposedly idle windows
+// cycle-by-cycle and panics if a core does anything — a debugging aid for
+// NextWake's completeness, too slow for regular use.
+var paranoidFF = os.Getenv("SFSIM_PARANOID") == "1"
 
 // Config is a whole-system configuration.
 type Config struct {
@@ -241,6 +247,69 @@ func Run(cfg Config, w *Workload) (*Result, error) {
 			break
 		}
 		releaseBarriers(cores)
+
+		// Idle fast-forward: jump over cycle spans where no core can make
+		// progress (all waiting on timed events such as memory fills).
+		// The jump lands one cycle before the earliest wake source so the
+		// boundary cycle executes normally, and is capped so that every
+		// per-cycle obligation of this loop still happens on schedule: the
+		// next timeline sample, the watchdog firing cycle, and the
+		// MaxCycles abort. Barriers need no cap — releaseBarriers ran
+		// above, so a post-release wake is already visible to NextWake.
+		// Cores replicate the skipped cycles' statistics exactly
+		// (core.SkipTo), keeping results byte-identical to per-cycle
+		// stepping.
+		if !cfg.Core.ForceCycleAccurate {
+			wake := int64(1) << 62
+			live := false
+			for _, c := range cores {
+				if c.Done() {
+					continue
+				}
+				live = true
+				if nw := c.NextWake(); nw < wake {
+					wake = nw
+				}
+			}
+			if !live {
+				// Every core finished during this iteration; the next
+				// loop pass will observe it and break. Jumping here
+				// would inflate the final cycle count.
+				continue
+			}
+			if paranoidFF && wake > now+1 {
+				for _, c := range cores {
+					if !c.Done() {
+						c.Cycle(now + 1)
+						if c.LastCycleActive() {
+							panic(fmt.Sprintf("paranoid: core active at %d though wake=%d\n%s", now+1, wake, c.DumpState()))
+						}
+					}
+				}
+				now++
+				continue
+			}
+			target := wake - 1
+			if tl != nil {
+				if next := now - now%rec.Interval + rec.Interval; next-1 < target {
+					target = next - 1
+				}
+			}
+			if deadline := lastCommitCycle + watchdog; deadline < target {
+				target = deadline
+			}
+			if maxCycles < target {
+				target = maxCycles
+			}
+			if target > now {
+				for _, c := range cores {
+					if !c.Done() {
+						c.SkipTo(target)
+					}
+				}
+				now = target
+			}
+		}
 	}
 
 	if w.Check != nil {
