@@ -1,0 +1,56 @@
+package blp
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files under testdata/")
+
+// checkGolden compares got against testdata/<name>, rewriting the file
+// when -update is set. Figures are deterministic — the simulator has no
+// hidden randomness and the runner assembles tables in declaration order —
+// so the rendered text must be byte-identical run to run.
+func checkGolden(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (regenerate with `go test . -run TestGolden -update`)", err)
+	}
+	if got != string(want) {
+		t.Errorf("%s drifted from golden file.\n--- got ---\n%s\n--- want ---\n%s", name, got, want)
+	}
+}
+
+// TestGoldenTable1 pins the static configuration table.
+func TestGoldenTable1(t *testing.T) {
+	checkGolden(t, "table1.golden", Table1().String())
+}
+
+// TestGoldenFig4SmallScale pins the full experiments -fig 4 text output at
+// the minimum input scale: every benchmark, every slicing placement, and
+// the perfect-prediction column, through the real memoized runner. Any
+// change to simulator timing, table formatting, or harmonic-mean math
+// shows up as a diff here.
+func TestGoldenFig4SmallScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs every benchmark through the simulator")
+	}
+	f, err := NewRunner(0).Fig4(-100) // clamps every benchmark to minScale
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "fig4-minscale.golden", f.String())
+}

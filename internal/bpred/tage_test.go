@@ -1,0 +1,198 @@
+package bpred
+
+import "testing"
+
+// pickCleanPC returns a PC whose tag is nonzero in every TAGE table under
+// an all-zero history, so a fresh table (tags zeroed) can never provide a
+// prediction for it by accident.
+func pickCleanPC(t *testing.T, tg *TAGE) uint64 {
+	for pc := uint64(1); pc < 4096; pc++ {
+		ok := true
+		for i := 0; i < tageTables; i++ {
+			if tg.tagOf(pc, i, 0) == 0 {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return pc
+		}
+	}
+	t.Fatal("no PC with all-nonzero tags found")
+	return 0
+}
+
+// TestTAGEAllocateOnMispredict: a base-provided misprediction must
+// allocate a tagged entry (weak counter toward the actual outcome), and
+// the next prediction for the same PC/history must come from it.
+func TestTAGEAllocateOnMispredict(t *testing.T) {
+	tg := NewTAGE()
+	pc := pickCleanPC(t, tg)
+
+	pred, tok := tg.Predict(pc, false)
+	if tok.provider != -1 {
+		t.Fatalf("fresh TAGE provided from table %d", tok.provider)
+	}
+	if !pred {
+		t.Fatal("fresh base predictor should predict taken (ctr 0 >= 0)")
+	}
+	tg.Resolve(tok, pc, false, true) // mispredict: predicted taken, was not
+
+	allocated := -1
+	for i := 0; i < tageTables; i++ {
+		e := tg.tables[i][tok.idx[i]]
+		if e.tag == tok.tag[i] {
+			allocated = i
+			if e.ctr != -1 {
+				t.Fatalf("table %d allocated with ctr %d, want weak -1", i, e.ctr)
+			}
+			if e.u != 0 {
+				t.Fatalf("table %d allocated with u %d, want 0", i, e.u)
+			}
+		}
+	}
+	if allocated < 0 {
+		t.Fatal("misprediction allocated no tagged entry")
+	}
+
+	pred2, tok2 := tg.Predict(pc, false)
+	if tok2.provider != allocated {
+		t.Fatalf("provider %d after allocation, want %d", tok2.provider, allocated)
+	}
+	if pred2 {
+		t.Fatal("allocated entry did not flip the prediction")
+	}
+}
+
+// TestTAGENoFreeEntryDecaysUseful: when every allocation candidate is
+// protected (u > 0), a misprediction must decrement their u bits instead
+// of allocating, so repeated pressure eventually frees a slot.
+func TestTAGENoFreeEntryDecaysUseful(t *testing.T) {
+	tg := NewTAGE()
+	pc := pickCleanPC(t, tg)
+
+	_, tok := tg.Predict(pc, false)
+	for i := 0; i < tageTables; i++ {
+		e := &tg.tables[i][tok.idx[i]]
+		e.tag = tok.tag[i] ^ 1 // occupied by someone else
+		e.u = 2
+	}
+	tg.Resolve(tok, pc, false, true) // mispredict, all candidates protected
+
+	// Allocation starts at provider+1 (= table 0 here), possibly skipping
+	// one table; tables 1..4 are candidates either way.
+	for i := 1; i < tageTables; i++ {
+		if u := tg.tables[i][tok.idx[i]].u; u != 1 {
+			t.Fatalf("table %d u = %d after failed allocation, want 1", i, u)
+		}
+		if tg.tables[i][tok.idx[i]].tag != tok.tag[i]^1 {
+			t.Fatalf("table %d entry was overwritten despite u > 0", i)
+		}
+	}
+}
+
+// TestTAGEUsefulBitTracksProvider: u increments when the provider beats
+// the alternate prediction and decrements when it loses to it.
+func TestTAGEUsefulBitTracksProvider(t *testing.T) {
+	tg := NewTAGE()
+	pc := pickCleanPC(t, tg)
+
+	// Plant a provider in the longest table predicting not-taken; the
+	// base (alternate) predicts taken, so the two always disagree.
+	idx := tg.index(pc, tageTables-1, 0)
+	tg.tables[tageTables-1][idx] = tageEntry{tag: tg.tagOf(pc, tageTables-1, 0), ctr: -1}
+
+	pred, tok := tg.Predict(pc, false)
+	if tok.provider != tageTables-1 || pred {
+		t.Fatalf("provider %d pred %v, want planted table %d not-taken",
+			tok.provider, pred, tageTables-1)
+	}
+	tg.Resolve(tok, pc, false, false) // provider right, altpred wrong
+	if u := tg.tables[tageTables-1][idx].u; u != 1 {
+		t.Fatalf("u = %d after useful prediction, want 1", u)
+	}
+
+	_, tok = tg.Predict(pc, false)
+	tg.Resolve(tok, pc, true, false) // provider wrong, altpred right
+	if u := tg.tables[tageTables-1][idx].u; u != 0 {
+		t.Fatalf("u = %d after useless prediction, want 0", u)
+	}
+}
+
+// TestTAGEUsefulDecay: the periodic decay halves every u bit once per
+// decayPeriod updates.
+func TestTAGEUsefulDecay(t *testing.T) {
+	tg := NewTAGE()
+	tg.tables[2][5].u = 3
+	tg.tables[4][9].u = 1
+
+	// Resolve with a base-only token and a matching outcome: no
+	// misprediction, no allocation — only the update counter advances.
+	p := Pred{provider: -1, Taken: false}
+	for i := 0; i < decayPeriod; i++ {
+		tg.Resolve(p, 0, false, false)
+	}
+	if u := tg.tables[2][5].u; u != 1 {
+		t.Fatalf("u = %d after one decay, want 3>>1 = 1", u)
+	}
+	if u := tg.tables[4][9].u; u != 0 {
+		t.Fatalf("u = %d after one decay, want 1>>1 = 0", u)
+	}
+}
+
+// TestTAGETagAliasing: two different PCs that collide in both index and
+// tag of table 0 share an entry — the second PC is provided by the first
+// PC's counter. This destructive aliasing is by design (partial tags);
+// the test pins the collision behaviour so a tag-width change that breaks
+// the hash shows up.
+func TestTAGETagAliasing(t *testing.T) {
+	tg := NewTAGE()
+	type key struct {
+		idx uint32
+		tag uint16
+	}
+	seen := map[key]uint64{}
+	var pc1, pc2 uint64
+	for pc := uint64(1); pc < 1<<20; pc++ {
+		k := key{tg.index(pc, 0, 0), tg.tagOf(pc, 0, 0)}
+		if k.tag == 0 {
+			continue
+		}
+		if prev, ok := seen[k]; ok {
+			pc1, pc2 = prev, pc
+			break
+		}
+		seen[k] = pc
+	}
+	if pc2 == 0 {
+		t.Fatal("no index+tag collision found in table 0")
+	}
+
+	idx := tg.index(pc1, 0, 0)
+	tg.tables[0][idx] = tageEntry{tag: tg.tagOf(pc1, 0, 0), ctr: -2}
+	_, tok := tg.Predict(pc2, false)
+	if tok.provider != 0 {
+		t.Fatalf("aliased PC %#x not provided by table 0 (provider %d)", pc2, tok.provider)
+	}
+	if tok.provPred {
+		t.Fatal("aliased PC did not read the colliding entry's counter")
+	}
+}
+
+// TestTAGEHistoryRepair: a mispredict with repairHist must rebuild the
+// speculative history as snapshot<<1|actual, discarding wrong-path shifts.
+func TestTAGEHistoryRepair(t *testing.T) {
+	tg := NewTAGE()
+	for i := 0; i < 64; i++ {
+		tg.OnFetch(i%3 == 0)
+	}
+	pred, tok := tg.Predict(77, false)
+	tg.OnFetch(pred)
+	tg.OnFetch(true) // wrong-path pollution
+	tg.OnFetch(false)
+	actual := !pred
+	tg.Resolve(tok, 77, actual, true)
+	if want := tok.Hist<<1 | b2u(actual); tg.hist != want {
+		t.Fatalf("history %#x after repair, want %#x", tg.hist, want)
+	}
+}

@@ -90,7 +90,10 @@ func (c *Core) release(t *thread, u *uop) {
 	if needSQ {
 		c.sqUsed--
 	}
-	if u.d.InSlice {
+	// Mirrors dispatch's increment condition exactly: wrong-path in-slice
+	// uops never enter the count, so a (buggy) commit of one must not
+	// decrement it either.
+	if u.d.InSlice && !u.d.Wrong {
 		c.inSliceCount--
 	}
 	t.inflight--

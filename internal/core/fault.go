@@ -1,0 +1,29 @@
+package core
+
+// FaultMode selects a deliberately broken recovery variant. The
+// differential fuzzer (internal/fuzz) uses these to prove its oracles can
+// detect real recovery bugs: with a fault armed, a run of random samples
+// must report at least one violation. Never set outside tests.
+type FaultMode int
+
+const (
+	// FaultNone runs the correct mechanism.
+	FaultNone FaultMode = iota
+	// FaultSkipUnlink makes resolveSelective leave the first wrong-path
+	// uop of every selective flush linked in the ROB, so it completes and
+	// commits. Caught by the committed-instruction-count oracle.
+	FaultSkipUnlink
+	// FaultLeakPending makes resolveSelective skip the pendingMisses
+	// decrement, so every selective recovery leaks one unit of the
+	// detected-but-unresolved counter. Caught by the watchdog/quiescence
+	// oracles: the thread stalls forever at its next slice_fence (fenceStall
+	// never clears), and CheckQuiescent flags the nonzero counter.
+	FaultLeakPending
+)
+
+var faultMode FaultMode
+
+// SetFaultInjection arms (or with FaultNone, disarms) a recovery fault.
+// Test-only; the process-global setting is not safe for concurrent cores
+// running under different modes.
+func SetFaultInjection(m FaultMode) { faultMode = m }

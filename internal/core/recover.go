@@ -75,9 +75,12 @@ func (c *Core) resolveSelective(t *thread, u *uop) {
 	// Selectively flush this miss's wrong-path instructions: dispatched
 	// ones unlink from the ROB, frontend ones drop.
 	dispFlushed := 0
-	for _, w := range mi.wp {
+	for i, w := range mi.wp {
 		if w.state == stFlushed || w.state == stCommitted {
 			continue
+		}
+		if faultMode == FaultSkipUnlink && i == 0 {
+			continue // injected bug: leave one wrong-path uop linked
 		}
 		if c.rec != nil {
 			c.recordMechanism(flight.EvUnlink, t, w, int64(mi.branchSeq))
@@ -126,7 +129,9 @@ func (c *Core) resolveSelective(t *thread, u *uop) {
 		c.stats.GapsCreated += uint64(g)
 	}
 
-	t.pendingMisses--
+	if faultMode != FaultLeakPending {
+		t.pendingMisses--
+	}
 	if t.pendingMisses == 0 {
 		t.fenceStall = false
 	}

@@ -35,6 +35,15 @@ type Stats struct {
 	// FRQPeak is the maximum fetch redirect queue occupancy observed.
 	FRQPeak int
 
+	// Uop conservation counters (the differential-fuzz oracle): every uop
+	// created by fetch must end committed, squashed after entering the
+	// window, or discarded while still in the frontend (slice markers,
+	// frontend flushes). At quiesce,
+	// UopsFetched == Committed + UopsSquashed + UopsFEDiscarded.
+	UopsFetched     uint64
+	UopsSquashed    uint64
+	UopsFEDiscarded uint64
+
 	// Cycle stack (Fig. 5): fractions of total cycles attributed to
 	// useful execution, branch-miss resolution, memory stalls, and
 	// everything else. Each cycle contributes commit-slot fractions.
@@ -108,6 +117,9 @@ func (s *Stats) Add(o *Stats) {
 	if o.FRQPeak > s.FRQPeak {
 		s.FRQPeak = o.FRQPeak
 	}
+	s.UopsFetched += o.UopsFetched
+	s.UopsSquashed += o.UopsSquashed
+	s.UopsFEDiscarded += o.UopsFEDiscarded
 	s.StackExec += o.StackExec
 	s.StackBranch += o.StackBranch
 	s.StackMem += o.StackMem

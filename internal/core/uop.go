@@ -274,6 +274,7 @@ func (c *Core) newUop(d emu.DynInst, t *thread) *uop {
 	u.d = d
 	u.t = t
 	u.node.Val = u
+	c.stats.UopsFetched++
 	if c.rec != nil && c.rec.TraceUops {
 		u.fetchCycle = c.now
 	}
@@ -283,6 +284,12 @@ func (c *Core) newUop(d emu.DynInst, t *thread) *uop {
 func (c *Core) freeUop(u *uop) {
 	if u.node.InList() {
 		panic("core: freeing linked uop")
+	}
+	switch u.state {
+	case stFrontend:
+		c.stats.UopsFEDiscarded++
+	case stFlushed:
+		c.stats.UopsSquashed++
 	}
 	u.miss = nil
 	u.t = nil

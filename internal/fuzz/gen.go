@@ -1,0 +1,172 @@
+package fuzz
+
+import (
+	"repro/internal/graph"
+)
+
+// SegKind classifies one segment of a generated program's outer-loop body.
+type SegKind int
+
+const (
+	SegStraight SegKind = iota // outside-slice arithmetic/memory statements
+	SegBranchy                 // outside-slice code biased toward branch diamonds
+	SegSlice                   // a slice_start..slice_end region (branch-heavy)
+	SegLoop                    // a short counted loop of outside-slice statements
+	SegFence                   // a slice_fence
+	SegBarrier                 // a global barrier
+	numSegKinds
+)
+
+// SegShape is the minimizer-addressable description of one segment. Seed
+// fixes its content; Skip bit i disables statement i and Off disables the
+// whole segment — both without disturbing the surviving statements, because
+// every statement index derives its own sub-RNG from Seed (greedy removal
+// stays local).
+type SegShape struct {
+	Kind  SegKind `json:"kind"`
+	Seed  uint64  `json:"seed"`
+	Stmts int     `json:"stmts"`
+	Skip  uint64  `json:"skip,omitempty"`
+	Off   bool    `json:"off,omitempty"`
+}
+
+// Shape is a generated sample before rendering: an outer-loop iteration
+// count, a segment skeleton, and a sampled hardware configuration. Every
+// hardware thread renders the same skeleton (so dynamic barrier counts line
+// up) with thread-salted statement content. The minimizer edits Shapes and
+// re-renders; repro files store the rendered Case instead, so they outlive
+// generator changes.
+type Shape struct {
+	Seed       uint64     `json:"seed"`
+	OuterIters int        `json:"outerIters"`
+	Segs       []SegShape `json:"segs"`
+	Cfg        CaseConfig `json:"cfg"`
+}
+
+// Clone returns a deep copy (the minimizer mutates candidates freely).
+func (s *Shape) Clone() *Shape {
+	c := *s
+	c.Segs = append([]SegShape(nil), s.Segs...)
+	return &c
+}
+
+// NewShape samples a fresh fuzz shape from seed. Storm mode squeezes the
+// window structures (tiny ROB/FRQ/Reserve) and biases segments toward
+// slices and fences, the regime where recovery machinery is under maximal
+// concurrent pressure.
+func NewShape(seed uint64, storm bool) *Shape {
+	rng := graph.NewRNG(seed*0x9e3779b97f4a7c15 + 0x2545f4914f6cdd1d)
+	s := &Shape{Seed: seed, Cfg: sampleConfig(rng, storm)}
+	s.OuterIters = 2 + rng.Intn(5)
+	nseg := 4 + rng.Intn(8)
+	if storm {
+		nseg = 6 + rng.Intn(8)
+	}
+	haveSlice := false
+	for i := 0; i < nseg; i++ {
+		k := sampleKind(rng, storm)
+		if k == SegSlice {
+			haveSlice = true
+		}
+		s.Segs = append(s.Segs, SegShape{
+			Kind:  k,
+			Seed:  rng.Next(),
+			Stmts: 2 + rng.Intn(6),
+		})
+	}
+	if !haveSlice {
+		s.Segs[0].Kind = SegSlice
+	}
+	return s
+}
+
+func sampleKind(rng *graph.RNG, storm bool) SegKind {
+	w := rng.Intn(100)
+	if storm {
+		switch {
+		case w < 50:
+			return SegSlice
+		case w < 70:
+			return SegFence
+		case w < 80:
+			return SegBranchy
+		case w < 88:
+			return SegStraight
+		case w < 94:
+			return SegLoop
+		default:
+			return SegBarrier
+		}
+	}
+	switch {
+	case w < 30:
+		return SegSlice
+	case w < 50:
+		return SegBranchy
+	case w < 65:
+		return SegStraight
+	case w < 75:
+		return SegLoop
+	case w < 93:
+		return SegFence
+	default:
+		return SegBarrier
+	}
+}
+
+// sampleConfig draws a hardware configuration. Ranges deliberately reach
+// far below the paper's Table 1 (ROB of a few dozen entries, FRQ of 1,
+// Reserve of 1) because the interesting recovery interleavings happen when
+// structures fill up.
+func sampleConfig(rng *graph.RNG, storm bool) CaseConfig {
+	cc := CaseConfig{Cores: 1, SMT: 1}
+	switch p := rng.Intn(10); {
+	case p >= 9:
+		cc.Cores = 2
+	case p >= 7:
+		cc.SMT = 2
+	}
+
+	if storm {
+		cc.ROBSize = 16 + rng.Intn(17)
+		cc.FRQSize = 1 + rng.Intn(2)
+	} else {
+		cc.ROBSize = 24 + rng.Intn(105)
+		cc.FRQSize = 1 + rng.Intn(8)
+	}
+	cc.RS = 8 + rng.Intn(33)
+	cc.LQ = 6 + rng.Intn(24)
+	cc.SQ = 6 + rng.Intn(24)
+	maxReserve := cc.RS
+	if cc.LQ < maxReserve {
+		maxReserve = cc.LQ
+	}
+	if cc.SQ < maxReserve {
+		maxReserve = cc.SQ
+	}
+	if storm {
+		cc.Reserve = 1 + rng.Intn(2)
+	} else {
+		cc.Reserve = 1 + rng.Intn(6)
+	}
+	if cc.Reserve >= maxReserve {
+		cc.Reserve = maxReserve - 1
+	}
+	cc.ROBBlockSize = []int{1, 1, 1, 2, 4, 8}[rng.Intn(6)]
+
+	widths := []int{2, 4}
+	cc.FetchWidth = widths[rng.Intn(2)]
+	cc.DispatchWidth = widths[rng.Intn(2)]
+	cc.IssueWidth = []int{2, 4, 8}[rng.Intn(3)]
+	cc.CommitWidth = widths[rng.Intn(2)]
+	cc.FrontendDepth = []int{4, 8, 12}[rng.Intn(3)]
+	cc.FrontendQueue = []int{16, 32, 64}[rng.Intn(3)]
+
+	// "oracle" is excluded: a perfect predictor never mispredicts, which
+	// defeats the point of fuzzing recovery.
+	preds := []string{"tage", "tage", "tage", "tage", "gshare", "gshare",
+		"gshare", "bimodal", "bimodal", "static"}
+	cc.Predictor = preds[rng.Intn(len(preds))]
+	cc.WrongPathMemAccess = rng.Intn(2) == 1
+	return cc
+}

@@ -1,0 +1,73 @@
+package fuzz
+
+// Minimize greedily shrinks a failing shape while preserving the
+// violation's Kind, re-rendering and re-running the full oracle battery on
+// every candidate. Levers, coarse to fine: collapse to one hardware
+// thread, halve the outer iteration count, disable whole segments, then
+// disable individual statements (Skip bits, which do not perturb the
+// surviving statements' content). budget bounds the number of candidate
+// runs. Returns the smallest still-failing shape and its violation.
+func Minimize(s *Shape, v *Violation, budget int) (*Shape, *Violation) {
+	fails := func(cand *Shape) *Violation {
+		if budget <= 0 {
+			return nil
+		}
+		budget--
+		if cv := RunCase(Render(cand)); cv != nil && cv.Kind == v.Kind {
+			return cv
+		}
+		return nil
+	}
+
+	cur := s.Clone()
+	for improved := true; improved && budget > 0; {
+		improved = false
+
+		if cur.Cfg.Cores*cur.Cfg.SMT > 1 {
+			cand := cur.Clone()
+			cand.Cfg.Cores, cand.Cfg.SMT = 1, 1
+			if cv := fails(cand); cv != nil {
+				cur, v, improved = cand, cv, true
+			}
+		}
+
+		for cur.OuterIters > 1 {
+			cand := cur.Clone()
+			cand.OuterIters = cur.OuterIters / 2
+			cv := fails(cand)
+			if cv == nil {
+				break
+			}
+			cur, v, improved = cand, cv, true
+		}
+
+		for i := range cur.Segs {
+			if cur.Segs[i].Off {
+				continue
+			}
+			cand := cur.Clone()
+			cand.Segs[i].Off = true
+			if cv := fails(cand); cv != nil {
+				cur, v, improved = cand, cv, true
+			}
+		}
+
+		for i := range cur.Segs {
+			if cur.Segs[i].Off {
+				continue
+			}
+			// Bit Stmts is the forced slice branch; it is droppable too.
+			for b := 0; b <= cur.Segs[i].Stmts; b++ {
+				if cur.Segs[i].Skip&(1<<uint(b)) != 0 {
+					continue
+				}
+				cand := cur.Clone()
+				cand.Segs[i].Skip |= 1 << uint(b)
+				if cv := fails(cand); cv != nil {
+					cur, v, improved = cand, cv, true
+				}
+			}
+		}
+	}
+	return cur, v
+}

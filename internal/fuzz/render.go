@@ -1,0 +1,548 @@
+package fuzz
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/isa"
+	"repro/internal/program"
+)
+
+// Arena geometry. All generated memory traffic stays inside these regions:
+// a shared read-only data array, a shared atomic arena, and per-thread
+// outer/slice/dump arenas. This is what makes generated programs obey the
+// §4.1 contract by construction (the emulator's checker then verifies it on
+// every reference run).
+const (
+	dataWords   = 64 // shared, read-only random data
+	sharedWords = 8  // shared, atomics only: words 0-3 AAdd64, 4-7 AMin64
+	arenaWords  = 16 // per-thread outer and slice store arenas
+	dumpWords   = 16 // per-thread final register dump
+)
+
+// Render materializes a shape into a runnable Case: one program per
+// hardware thread plus the initial memory image.
+//
+// The register and memory discipline, by construction:
+//
+//   - outer[0..3], iter: written only outside slices → register owner 0
+//     forever → readable everywhere (including inside slices).
+//   - slice[0..3]: written only inside slices, readable only inside the
+//     same slice after being written there (per-slice init tracking), and
+//     never read outside a slice. Their values escape through stores to the
+//     slice arena, which the epilogue reads back after a slice_fence.
+//   - accI/accF: updated only by reduce-prefixed instructions (checker-
+//     exempt, §4.5) and read only by the epilogue dump.
+//   - tmp/tmp2/loopCtr/loopLim: scratch, always written before read at
+//     each use site, never carried across context boundaries.
+//   - Slice stores target only the thread's slice arena; outside stores
+//     only its outer arena; loads only the shared data array, the outer
+//     arena, or slice-arena words stored earlier in the same slice.
+//   - Shared-arena traffic is commutative unobserved atomics (AAdd64 or
+//     AMin64 per fixed word, Dst=r0), so racing threads still produce a
+//     deterministic final image.
+type renderer struct {
+	b   *program.Builder
+	lbl *int // shared label counter (unique across helper calls)
+
+	rData, rOuter, rSlice, rShared, rDump isa.Reg
+	iter, limit                           isa.Reg
+	inner, innerLim                       isa.Reg
+	loopCtr, loopLim                      isa.Reg
+	tmp, tmp2                             isa.Reg
+	outer, slice                          []isa.Reg
+	accI, accF                            isa.Reg
+
+	inSlice     bool
+	readable    []isa.Reg // registers legal to read in the current context
+	branches    int       // branches emitted in the current slice
+	sliceStored []int64   // 8-byte slice-arena offsets stored at depth 0 this slice
+
+	dataBase, sharedBase, outerBase, sliceBase, dumpBase uint64
+}
+
+// Render renders every hardware thread of the shape and returns the Case.
+func Render(s *Shape) *Case {
+	threads := s.Cfg.Cores * s.Cfg.SMT
+	lay := program.NewLayout()
+	mrng := graph.NewRNG(s.Seed ^ 0xdeadbeefcafef00d)
+
+	dataVals := make([]uint64, dataWords)
+	for i := range dataVals {
+		dataVals[i] = mrng.Next()
+	}
+	dataBase := lay.AllocU64(dataWords, dataVals)
+
+	sharedVals := make([]uint64, sharedWords)
+	for i := 0; i < 4; i++ {
+		sharedVals[i] = mrng.Next() & 0xffff
+	}
+	for i := 4; i < 8; i++ {
+		sharedVals[i] = mrng.Next() | 1<<63 // large, so AMin64 can win
+	}
+	sharedBase := lay.AllocU64(sharedWords, sharedVals)
+
+	c := &Case{Name: fmt.Sprintf("gen-%#x", s.Seed), Cfg: s.Cfg}
+	for ti := 0; ti < threads; ti++ {
+		outerVals := make([]uint64, arenaWords)
+		for i := range outerVals {
+			outerVals[i] = mrng.Next() & 0xffffff
+		}
+		tr := &renderer{
+			b:          program.NewBuilder(fmt.Sprintf("t%d", ti)),
+			lbl:        new(int),
+			dataBase:   dataBase,
+			sharedBase: sharedBase,
+			outerBase:  lay.AllocU64(arenaWords, outerVals),
+			sliceBase:  lay.AllocU64(arenaWords, nil),
+			dumpBase:   lay.AllocU64(dumpWords, nil),
+		}
+		c.Progs = append(c.Progs, tr.render(s, uint64(ti)))
+	}
+	c.Mem = lay.Image()
+	return c
+}
+
+func (tr *renderer) label() string {
+	*tr.lbl++
+	return fmt.Sprintf("L%d", *tr.lbl)
+}
+
+// resetReadable restores the context-independent readable set (owner-0
+// registers). Called on every slice boundary.
+func (tr *renderer) resetReadable() {
+	tr.readable = tr.readable[:0]
+	tr.readable = append(tr.readable, tr.outer...)
+	tr.readable = append(tr.readable, tr.iter)
+}
+
+func (tr *renderer) markWritten(r isa.Reg) {
+	for _, x := range tr.readable {
+		if x == r {
+			return
+		}
+	}
+	tr.readable = append(tr.readable, r)
+}
+
+func (tr *renderer) pickReadable(rng *graph.RNG) isa.Reg {
+	return tr.readable[rng.Intn(len(tr.readable))]
+}
+
+// pickWritable returns a destination register legal in the current
+// context: slice regs inside a slice, outer regs outside.
+func (tr *renderer) pickWritable(rng *graph.RNG) isa.Reg {
+	if tr.inSlice {
+		return tr.slice[rng.Intn(len(tr.slice))]
+	}
+	return tr.outer[rng.Intn(len(tr.outer))]
+}
+
+// render builds one thread's program.
+func (tr *renderer) render(s *Shape, ti uint64) *isa.Program {
+	salt := (ti + 1) * 0x7f4a7c15517cc1b7
+	prng := graph.NewRNG(s.Seed ^ salt ^ 0xa5a5a5a5a5a5a5a5)
+	b := tr.b
+
+	tr.rData, tr.rOuter, tr.rSlice, tr.rShared, tr.rDump = b.Reg(), b.Reg(), b.Reg(), b.Reg(), b.Reg()
+	tr.iter, tr.limit = b.Reg(), b.Reg()
+	tr.inner, tr.innerLim = b.Reg(), b.Reg()
+	tr.loopCtr, tr.loopLim = b.Reg(), b.Reg()
+	tr.tmp, tr.tmp2 = b.Reg(), b.Reg()
+	tr.outer = b.Regs(4)
+	tr.slice = b.Regs(4)
+	tr.accI, tr.accF = b.Reg(), b.Reg()
+
+	b.Li(tr.rData, int64(tr.dataBase))
+	b.Li(tr.rOuter, int64(tr.outerBase))
+	b.Li(tr.rSlice, int64(tr.sliceBase))
+	b.Li(tr.rShared, int64(tr.sharedBase))
+	b.Li(tr.rDump, int64(tr.dumpBase))
+	for _, r := range tr.outer {
+		b.Li(r, int64(prng.Next()&0xffff))
+	}
+	b.Li(tr.accI, 0)
+	b.LiF(tr.accF, 1.0)
+	b.Li(tr.iter, 0)
+	b.Li(tr.limit, int64(s.OuterIters))
+	tr.resetReadable()
+
+	outerTop := tr.label()
+	b.Label(outerTop)
+	for _, seg := range s.Segs {
+		if seg.Off {
+			continue
+		}
+		tr.segment(seg, salt)
+	}
+	b.AddI(tr.iter, tr.iter, 1)
+	b.Blt(tr.iter, tr.limit, outerTop)
+
+	// Epilogue: fence (the sanctioned slice→outside communication point,
+	// §4.4), then dump every architecturally-live register plus the slice
+	// arena's first words so the memory oracle observes them.
+	b.SliceFence(true)
+	for i, r := range tr.outer {
+		b.St64(tr.rDump, int64(8*i), r)
+	}
+	b.St64(tr.rDump, 32, tr.accI)
+	b.St64(tr.rDump, 40, tr.accF)
+	b.St64(tr.rDump, 48, tr.iter)
+	for i := 0; i < 4; i++ {
+		b.Ld64(tr.tmp, tr.rSlice, int64(8*i))
+		b.St64(tr.rDump, int64(64+8*i), tr.tmp)
+	}
+	b.Halt()
+	return b.Build()
+}
+
+// stmtRNG derives the sub-RNG of statement i: independent of all other
+// statements, so the minimizer's Skip bits do not reshuffle survivors.
+func stmtRNG(seg SegShape, salt uint64, i int) *graph.RNG {
+	return graph.NewRNG(seg.Seed ^ salt ^ (uint64(i)+0x1000)*0x9e3779b97f4a7c15)
+}
+
+func (tr *renderer) segment(seg SegShape, salt uint64) {
+	switch seg.Kind {
+	case SegFence:
+		tr.b.SliceFence(true)
+		return
+	case SegBarrier:
+		tr.b.Barrier()
+		return
+	case SegLoop:
+		rng := stmtRNG(seg, salt, -1)
+		tr.b.Li(tr.inner, 0)
+		tr.b.Li(tr.innerLim, int64(2+rng.Intn(3)))
+		top := tr.label()
+		tr.b.Label(top)
+		for i := 0; i < seg.Stmts; i++ {
+			if seg.Skip&(1<<uint(i)) != 0 {
+				continue
+			}
+			tr.simpleStmt(stmtRNG(seg, salt, i))
+		}
+		tr.b.AddI(tr.inner, tr.inner, 1)
+		tr.b.Blt(tr.inner, tr.innerLim, top)
+		return
+	case SegSlice:
+		tr.b.SliceStart(true)
+		tr.inSlice = true
+		tr.resetReadable()
+		tr.sliceStored = tr.sliceStored[:0]
+		tr.branches = 0
+		for i := 0; i < seg.Stmts; i++ {
+			if seg.Skip&(1<<uint(i)) != 0 {
+				continue
+			}
+			tr.stmt(stmtRNG(seg, salt, i), 0)
+		}
+		// A slice without a branch never exercises selective recovery;
+		// force one (the minimizer can still drop it via bit Stmts).
+		if tr.branches == 0 && seg.Skip&(1<<uint(seg.Stmts)) == 0 {
+			tr.diamond(stmtRNG(seg, salt, seg.Stmts), 0)
+		}
+		tr.b.SliceEnd(true)
+		tr.inSlice = false
+		tr.resetReadable()
+		return
+	}
+
+	// SegStraight / SegBranchy.
+	branchy := seg.Kind == SegBranchy
+	for i := 0; i < seg.Stmts; i++ {
+		if seg.Skip&(1<<uint(i)) != 0 {
+			continue
+		}
+		rng := stmtRNG(seg, salt, i)
+		if branchy && rng.Intn(100) < 45 {
+			tr.diamond(rng, 0)
+		} else {
+			tr.stmt(rng, 0)
+		}
+	}
+}
+
+// stmt emits one random statement. Inside slices the mix is biased toward
+// loads and branches (the paper's slice idiom: a data-dependent branch on
+// a long-latency load).
+func (tr *renderer) stmt(rng *graph.RNG, depth int) {
+	w := rng.Intn(100)
+	if tr.inSlice {
+		switch {
+		case w < 18:
+			tr.arith(rng)
+		case w < 42:
+			tr.load(rng, depth)
+		case w < 54:
+			tr.store(rng, depth)
+		case w < 62:
+			tr.atomic(rng)
+		case w < 72:
+			tr.reduce(rng)
+		case w < 92:
+			if depth < 2 {
+				tr.diamond(rng, depth)
+			} else {
+				tr.arith(rng)
+			}
+		default:
+			if depth == 0 {
+				tr.sliceLoop(rng)
+			} else {
+				tr.load(rng, depth)
+			}
+		}
+		return
+	}
+	switch {
+	case w < 30:
+		tr.arith(rng)
+	case w < 52:
+		tr.load(rng, depth)
+	case w < 68:
+		tr.store(rng, depth)
+	case w < 78:
+		tr.atomic(rng)
+	case w < 86:
+		tr.reduce(rng)
+	default:
+		if depth < 2 {
+			tr.diamond(rng, depth)
+		} else {
+			tr.arith(rng)
+		}
+	}
+}
+
+// simpleStmt is the loop-body restriction: no control flow (loop counter
+// registers must not be clobbered, and diamonds inside tight loops add
+// little coverage).
+func (tr *renderer) simpleStmt(rng *graph.RNG) {
+	switch rng.Intn(5) {
+	case 0:
+		tr.arith(rng)
+	case 1:
+		tr.load(rng, 1)
+	case 2:
+		tr.store(rng, 1)
+	case 3:
+		tr.atomic(rng)
+	default:
+		tr.reduce(rng)
+	}
+}
+
+func (tr *renderer) arith(rng *graph.RNG) {
+	d := tr.pickWritable(rng)
+	s1 := tr.pickReadable(rng)
+	switch rng.Intn(16) {
+	case 0:
+		tr.b.Add(d, s1, tr.pickReadable(rng))
+	case 1:
+		tr.b.Sub(d, s1, tr.pickReadable(rng))
+	case 2:
+		tr.b.Mul(d, s1, tr.pickReadable(rng))
+	case 3:
+		tr.b.And(d, s1, tr.pickReadable(rng))
+	case 4:
+		tr.b.Or(d, s1, tr.pickReadable(rng))
+	case 5:
+		tr.b.Xor(d, s1, tr.pickReadable(rng))
+	case 6:
+		tr.b.Min(d, s1, tr.pickReadable(rng))
+	case 7:
+		tr.b.Max(d, s1, tr.pickReadable(rng))
+	case 8:
+		tr.b.Div(d, s1, tr.pickReadable(rng))
+	case 9:
+		tr.b.Rem(d, s1, tr.pickReadable(rng))
+	case 10:
+		tr.b.AddI(d, s1, int64(rng.Intn(1<<12))-1<<11)
+	case 11:
+		tr.b.XorI(d, s1, int64(rng.Next()&0xffff))
+	case 12:
+		tr.b.MulI(d, s1, int64(1+rng.Intn(13)))
+	case 13:
+		tr.b.ShrI(d, s1, int64(rng.Intn(24)))
+	case 14:
+		tr.b.FAdd(d, s1, tr.pickReadable(rng))
+	default:
+		tr.b.FMul(d, s1, tr.pickReadable(rng))
+	}
+	tr.markWritten(d)
+}
+
+func (tr *renderer) load(rng *graph.RNG, depth int) {
+	d := tr.pickWritable(rng)
+	// Slice-arena readback: only from words this slice already stored at
+	// depth 0 (those dominate this statement, so the bytes are owned by
+	// the current slice when the load executes).
+	if tr.inSlice && len(tr.sliceStored) > 0 && rng.Intn(100) < 30 {
+		off := tr.sliceStored[rng.Intn(len(tr.sliceStored))]
+		tr.b.Ld64(d, tr.rSlice, off)
+		tr.markWritten(d)
+		return
+	}
+	base, words := tr.rData, dataWords
+	if rng.Intn(100) < 35 {
+		base, words = tr.rOuter, arenaWords
+	}
+	switch rng.Intn(4) {
+	case 0: // indexed 64-bit through a masked random index
+		tr.b.AndI(tr.tmp, tr.pickReadable(rng), int64(words-1))
+		tr.b.LdX64(d, base, tr.tmp, 3)
+	case 1: // indexed 32-bit
+		tr.b.AndI(tr.tmp, tr.pickReadable(rng), int64(2*words-1))
+		tr.b.LdX32(d, base, tr.tmp, 2)
+	case 2:
+		tr.b.Ld32(d, base, int64(4*rng.Intn(2*words)))
+	default:
+		tr.b.Ld64(d, base, int64(8*rng.Intn(words)))
+	}
+	tr.markWritten(d)
+}
+
+func (tr *renderer) store(rng *graph.RNG, depth int) {
+	base := tr.rOuter
+	if tr.inSlice {
+		base = tr.rSlice
+	}
+	val := tr.pickReadable(rng)
+	switch rng.Intn(4) {
+	case 0:
+		tr.b.AndI(tr.tmp, tr.pickReadable(rng), arenaWords-1)
+		tr.b.StX64(base, tr.tmp, 3, val)
+	case 1:
+		tr.b.AndI(tr.tmp, tr.pickReadable(rng), 2*arenaWords-1)
+		tr.b.StX32(base, tr.tmp, 2, val)
+	case 2:
+		tr.b.St32(base, int64(4*rng.Intn(2*arenaWords)), val)
+	default:
+		off := int64(8 * rng.Intn(arenaWords))
+		tr.b.St64(base, off, val)
+		if tr.inSlice && depth == 0 {
+			tr.sliceStored = append(tr.sliceStored, off)
+		}
+	}
+}
+
+func (tr *renderer) atomic(rng *graph.RNG) {
+	val := tr.pickReadable(rng)
+	if tr.sharedBase != 0 && rng.Intn(100) < 40 {
+		// Shared arena: commutative, result-unobserved (Dst=r0), one op
+		// kind per word so racing threads commute.
+		if rng.Intn(2) == 0 {
+			tr.b.AAdd64(isa.R0, tr.rShared, int64(8*rng.Intn(4)), val)
+		} else {
+			tr.b.AMin64(isa.R0, tr.rShared, int64(32+8*rng.Intn(4)), val)
+		}
+		return
+	}
+	d := tr.pickWritable(rng)
+	switch rng.Intn(5) {
+	case 0:
+		tr.b.AAdd64(d, tr.rOuter, int64(8*rng.Intn(arenaWords)), val)
+	case 1:
+		tr.b.AAdd32(d, tr.rOuter, int64(4*rng.Intn(2*arenaWords)), val)
+	case 2:
+		tr.b.AMin64(d, tr.rOuter, int64(8*rng.Intn(arenaWords)), val)
+	case 3:
+		tr.b.AndI(tr.tmp, tr.pickReadable(rng), arenaWords-1)
+		tr.b.AAddX64(d, tr.rOuter, tr.tmp, 3, val)
+	default:
+		tr.b.AndI(tr.tmp, tr.pickReadable(rng), arenaWords-1)
+		tr.b.AMinX64(d, tr.rOuter, tr.tmp, 3, val)
+	}
+	tr.markWritten(d)
+}
+
+func (tr *renderer) reduce(rng *graph.RNG) {
+	src := tr.pickReadable(rng)
+	switch rng.Intn(4) {
+	case 0:
+		tr.b.Reduce().Add(tr.accI, tr.accI, src)
+	case 1:
+		tr.b.Reduce().Min(tr.accI, tr.accI, src)
+	case 2:
+		tr.b.Reduce().Max(tr.accI, tr.accI, src)
+	default:
+		tr.b.Reduce().FAdd(tr.accF, tr.accF, src)
+	}
+}
+
+// diamond emits a two-armed conditional region (optionally with an else
+// arm). Conditions read random data, so directions are data-dependent and
+// mispredict-prone — the fuel of every recovery path under test.
+func (tr *renderer) diamond(rng *graph.RNG, depth int) {
+	els, end := tr.label(), tr.label()
+	src := tr.pickReadable(rng)
+	switch rng.Intn(4) {
+	case 0:
+		tr.b.AndI(tr.tmp2, src, 1<<uint(rng.Intn(8)))
+		if rng.Intn(2) == 0 {
+			tr.b.Bne(tr.tmp2, isa.R0, els)
+		} else {
+			tr.b.Beq(tr.tmp2, isa.R0, els)
+		}
+	case 1:
+		s2 := tr.pickReadable(rng)
+		switch rng.Intn(4) {
+		case 0:
+			tr.b.Blt(src, s2, els)
+		case 1:
+			tr.b.Bge(src, s2, els)
+		case 2:
+			tr.b.Bltu(src, s2, els)
+		default:
+			tr.b.Bgeu(src, s2, els)
+		}
+	case 2:
+		s2 := tr.pickReadable(rng)
+		if rng.Intn(2) == 0 {
+			tr.b.Bflt(src, s2, els)
+		} else {
+			tr.b.Bfge(src, s2, els)
+		}
+	default:
+		tr.b.Bne(src, tr.pickReadable(rng), els)
+	}
+	tr.branches++
+
+	// Writes inside an arm do not dominate code after the join point, so
+	// they must not extend the readable set beyond the arm: snapshot it
+	// and restore after each arm. (Within an arm, straight-line order
+	// still lets later arm statements read earlier arm writes.)
+	saved := append([]isa.Reg(nil), tr.readable...)
+	for i := 1 + rng.Intn(2); i > 0; i-- {
+		tr.stmt(rng, depth+1)
+	}
+	tr.readable = append(tr.readable[:0], saved...)
+	if rng.Intn(2) == 0 {
+		tr.b.Jmp(end)
+		tr.b.Label(els)
+		for i := 1 + rng.Intn(2); i > 0; i-- {
+			tr.stmt(rng, depth+1)
+		}
+		tr.readable = append(tr.readable[:0], saved...)
+		tr.b.Label(end)
+	} else {
+		tr.b.Label(els)
+	}
+}
+
+// sliceLoop emits a short counted loop inside a slice: its backward branch
+// stretches the dynamic slice and its body pressures the reserved
+// resources (§4.7).
+func (tr *renderer) sliceLoop(rng *graph.RNG) {
+	tr.b.Li(tr.loopCtr, 0)
+	tr.b.Li(tr.loopLim, int64(1+rng.Intn(3)))
+	top := tr.label()
+	tr.b.Label(top)
+	for i := 1 + rng.Intn(2); i > 0; i-- {
+		tr.simpleStmt(rng)
+	}
+	tr.b.AddI(tr.loopCtr, tr.loopCtr, 1)
+	tr.b.Blt(tr.loopCtr, tr.loopLim, top)
+	tr.branches++
+}

@@ -1,0 +1,295 @@
+package fuzz
+
+import (
+	"repro/internal/graph"
+	"repro/internal/isa"
+	"repro/internal/program"
+)
+
+// Hand-built adversarial cases: each aims one oracle at one stress point
+// of the selective-flush machinery. They double as the committed seed
+// corpus (testdata/) and as always-on regression tests (TestScenarios).
+
+// Scenarios returns every named adversarial case.
+func Scenarios() []*Case {
+	return []*Case{
+		ScenarioFence(),
+		ScenarioFRQStorm(),
+		ScenarioReserveExhaustion(),
+		ScenarioReduceSMT(),
+	}
+}
+
+func scenarioConfig() CaseConfig {
+	return CaseConfig{
+		Cores: 1, SMT: 1,
+		ROBSize: 64, RS: 24, LQ: 16, SQ: 16,
+		Reserve: 4, ROBBlockSize: 1, FRQSize: 4,
+		FetchWidth: 4, DispatchWidth: 4, IssueWidth: 8, CommitWidth: 4,
+		FrontendDepth: 8, FrontendQueue: 32,
+		Predictor: "tage", WrongPathMemAccess: true,
+	}
+}
+
+func randomData(lay *program.Layout, seed uint64) uint64 {
+	rng := graph.NewRNG(seed)
+	vals := make([]uint64, dataWords)
+	for i := range vals {
+		vals[i] = rng.Next()
+	}
+	return lay.AllocU64(dataWords, vals)
+}
+
+// ScenarioFence: every iteration runs a slice with a data-dependent
+// branch and hits a slice_fence immediately after slice_end, so fences
+// repeatedly arrive while the in-slice miss is still pending (the
+// fenceStall path) and post-fence code reads the slice's memory output.
+func ScenarioFence() *Case {
+	cc := scenarioConfig()
+	cc.FRQSize = 2
+	cc.Reserve = 2
+
+	lay := program.NewLayout()
+	dataBase := randomData(lay, 0x5eedfe4ce0001)
+	sliceBase := lay.AllocU64(arenaWords, nil)
+	dumpBase := lay.AllocU64(dumpWords, nil)
+
+	b := program.NewBuilder("fence")
+	rData, rSlice, rDump := b.Reg(), b.Reg(), b.Reg()
+	iter, limit, acc := b.Reg(), b.Reg(), b.Reg()
+	t, v, w := b.Reg(), b.Reg(), b.Reg()
+
+	b.Li(rData, int64(dataBase))
+	b.Li(rSlice, int64(sliceBase))
+	b.Li(rDump, int64(dumpBase))
+	b.Li(iter, 0)
+	b.Li(limit, 40)
+	b.Li(acc, 0)
+	b.Label("top")
+	b.SliceStart(true)
+	b.AndI(t, iter, dataWords-1)
+	b.LdX64(v, rData, t, 3)
+	b.AndI(t, v, 1)
+	b.Bne(t, isa.R0, "skip")
+	b.St64(rSlice, 0, v)
+	b.Label("skip")
+	b.St64(rSlice, 8, v)
+	b.SliceEnd(true)
+	b.SliceFence(true)
+	b.Ld64(w, rSlice, 8) // sanctioned post-fence read of the slice's output
+	b.Add(acc, acc, w)
+	b.AddI(iter, iter, 1)
+	b.Blt(iter, limit, "top")
+	b.St64(rDump, 0, acc)
+	b.St64(rDump, 8, iter)
+	b.Halt()
+
+	return &Case{Name: "scenario-fence", Cfg: cc,
+		Progs: []*isa.Program{b.Build()}, Mem: lay.Image()}
+}
+
+// ScenarioFRQStorm: FRQ of 1 and a weak predictor against four chained
+// data-dependent in-slice branches per iteration — most in-slice misses
+// find the FRQ full and must take the conventional-fallback path while a
+// selective recovery is still in flight.
+func ScenarioFRQStorm() *Case {
+	cc := scenarioConfig()
+	cc.FRQSize = 1
+	cc.Reserve = 1
+	cc.ROBSize = 24
+	cc.RS, cc.LQ, cc.SQ = 10, 8, 8
+	cc.Predictor = "bimodal"
+
+	lay := program.NewLayout()
+	dataBase := randomData(lay, 0x5eedf4a570a2)
+	sliceBase := lay.AllocU64(arenaWords, nil)
+	dumpBase := lay.AllocU64(dumpWords, nil)
+
+	b := program.NewBuilder("frqstorm")
+	rData, rSlice, rDump := b.Reg(), b.Reg(), b.Reg()
+	iter, limit, acc := b.Reg(), b.Reg(), b.Reg()
+	t, v, w := b.Reg(), b.Reg(), b.Reg()
+
+	b.Li(rData, int64(dataBase))
+	b.Li(rSlice, int64(sliceBase))
+	b.Li(rDump, int64(dumpBase))
+	b.Li(iter, 0)
+	b.Li(limit, 32)
+	b.Li(acc, 0)
+	b.Label("top")
+	b.SliceStart(true)
+	b.AndI(t, iter, dataWords-1)
+	b.LdX64(v, rData, t, 3)
+	b.AndI(t, v, 1)
+	b.Bne(t, isa.R0, "b1")
+	b.St64(rSlice, 0, v)
+	b.Label("b1")
+	b.AndI(t, v, 2)
+	b.Beq(t, isa.R0, "b2")
+	b.St64(rSlice, 8, v)
+	b.Label("b2")
+	b.AndI(t, v, 4)
+	b.Bne(t, isa.R0, "b3")
+	b.Reduce().Add(acc, acc, v)
+	b.Label("b3")
+	b.AndI(t, v, 8)
+	b.Beq(t, isa.R0, "b4")
+	b.St64(rSlice, 16, v)
+	b.Label("b4")
+	b.SliceEnd(true)
+	b.AddI(iter, iter, 1)
+	b.Blt(iter, limit, "top")
+	b.SliceFence(true)
+	b.St64(rDump, 0, acc)
+	b.St64(rDump, 8, iter)
+	for i := 0; i < 3; i++ {
+		b.Ld64(w, rSlice, int64(8*i))
+		b.St64(rDump, int64(16+8*i), w)
+	}
+	b.Halt()
+
+	return &Case{Name: "scenario-frq-storm", Cfg: cc,
+		Progs: []*isa.Program{b.Build()}, Mem: lay.Image()}
+}
+
+// ScenarioReserveExhaustion: tiny RS/LQ/SQ with Reserve=1 and slices that
+// burst loads and stores on both the slice and the post-slice path — the
+// §4.7 admission tiers (regular vs resolve-path vs oldest-hole) are all
+// forced to turn work away, and forward progress rests entirely on the
+// reserved entries.
+func ScenarioReserveExhaustion() *Case {
+	cc := scenarioConfig()
+	cc.RS, cc.LQ, cc.SQ = 8, 6, 6
+	cc.Reserve = 1
+	cc.ROBSize = 24
+	cc.ROBBlockSize = 4
+	cc.FRQSize = 2
+	cc.Predictor = "gshare"
+
+	lay := program.NewLayout()
+	dataBase := randomData(lay, 0x5eed4e5e47e)
+	outerVals := make([]uint64, arenaWords)
+	rng := graph.NewRNG(0x0072a1e5)
+	for i := range outerVals {
+		outerVals[i] = rng.Next() & 0xffffff
+	}
+	outerBase := lay.AllocU64(arenaWords, outerVals)
+	sliceBase := lay.AllocU64(arenaWords, nil)
+	dumpBase := lay.AllocU64(dumpWords, nil)
+
+	b := program.NewBuilder("reserve")
+	rData, rOuter, rSlice, rDump := b.Reg(), b.Reg(), b.Reg(), b.Reg()
+	iter, limit := b.Reg(), b.Reg()
+	t, v, v2, w, o1, o2 := b.Reg(), b.Reg(), b.Reg(), b.Reg(), b.Reg(), b.Reg()
+
+	b.Li(rData, int64(dataBase))
+	b.Li(rOuter, int64(outerBase))
+	b.Li(rSlice, int64(sliceBase))
+	b.Li(rDump, int64(dumpBase))
+	b.Li(iter, 0)
+	b.Li(limit, 24)
+	b.Li(o1, 0)
+	b.Label("top")
+	b.SliceStart(true)
+	b.AndI(t, iter, dataWords-1)
+	b.LdX64(v, rData, t, 3)
+	b.AndI(t, v, 3)
+	b.Beq(t, isa.R0, "arm")
+	b.Ld64(v2, rData, 16)
+	b.St64(rSlice, 0, v2)
+	b.Ld64(v2, rData, 24)
+	b.St64(rSlice, 8, v2)
+	b.Label("arm")
+	b.Ld64(v2, rData, 32)
+	b.St64(rSlice, 16, v2)
+	b.St64(rSlice, 24, v)
+	b.SliceEnd(true)
+	// Post-slice burst: fills the unreserved LQ/SQ entries while the
+	// in-slice miss above is still unresolved.
+	b.Ld64(o2, rOuter, 0)
+	b.St64(rOuter, 8, o2)
+	b.Ld64(o2, rOuter, 16)
+	b.St64(rOuter, 24, o2)
+	b.Ld64(o2, rOuter, 32)
+	b.Add(o1, o1, o2)
+	b.St64(rOuter, 40, o1)
+	b.AddI(iter, iter, 1)
+	b.Blt(iter, limit, "top")
+	b.SliceFence(true)
+	b.St64(rDump, 0, o1)
+	b.St64(rDump, 8, iter)
+	for i := 0; i < 4; i++ {
+		b.Ld64(w, rSlice, int64(8*i))
+		b.St64(rDump, int64(16+8*i), w)
+	}
+	b.Halt()
+
+	return &Case{Name: "scenario-reserve", Cfg: cc,
+		Progs: []*isa.Program{b.Build()}, Mem: lay.Image()}
+}
+
+// ScenarioReduceSMT: two SMT threads whose slices lead with commit-time
+// reduce updates (§4.5) and race commutative atomics on a shared word,
+// synchronizing with a barrier every iteration. Exercises reduce-at-head
+// commit ordering under SMT resource sharing.
+func ScenarioReduceSMT() *Case {
+	cc := scenarioConfig()
+	cc.SMT = 2
+	cc.ROBSize = 48
+	cc.RS, cc.LQ, cc.SQ = 16, 12, 12
+	cc.Reserve = 2
+	cc.FRQSize = 2
+
+	lay := program.NewLayout()
+	dataBase := randomData(lay, 0x5eed4edce5)
+	sharedBase := lay.AllocU64(sharedWords, []uint64{0, 0, 0, 0,
+		^uint64(0), ^uint64(0), ^uint64(0), ^uint64(0)})
+
+	c := &Case{Name: "scenario-reduce-smt", Cfg: cc}
+	for ti := 0; ti < 2; ti++ {
+		sliceBase := lay.AllocU64(arenaWords, nil)
+		dumpBase := lay.AllocU64(dumpWords, nil)
+
+		b := program.NewBuilder(c.Name + []string{"-t0", "-t1"}[ti])
+		rData, rSlice, rShared, rDump := b.Reg(), b.Reg(), b.Reg(), b.Reg()
+		iter, limit, accI, accF, o1 := b.Reg(), b.Reg(), b.Reg(), b.Reg(), b.Reg()
+		t, v, w := b.Reg(), b.Reg(), b.Reg()
+
+		b.Li(rData, int64(dataBase))
+		b.Li(rSlice, int64(sliceBase))
+		b.Li(rShared, int64(sharedBase))
+		b.Li(rDump, int64(dumpBase))
+		b.Li(iter, 0)
+		b.Li(limit, 24)
+		b.Li(accI, 0)
+		b.LiF(accF, 1.0)
+		b.Li(o1, int64(7+ti))
+		b.Label("top")
+		b.SliceStart(true)
+		b.Reduce().Add(accI, accI, o1) // reduce at the slice head
+		b.AndI(t, iter, dataWords-1)
+		b.LdX64(v, rData, t, 3)
+		b.AndI(t, v, 1)
+		b.Bne(t, isa.R0, "skip")
+		b.Reduce().FAdd(accF, accF, v)
+		b.Label("skip")
+		b.St64(rSlice, 0, v)
+		b.SliceEnd(true)
+		b.AAdd64(isa.R0, rShared, 0, o1)  // commutative, racing with the other thread
+		b.AMin64(isa.R0, rShared, 32, o1) // likewise
+		b.Barrier()
+		b.AddI(iter, iter, 1)
+		b.Blt(iter, limit, "top")
+		b.SliceFence(true)
+		b.St64(rDump, 0, accI)
+		b.St64(rDump, 8, accF)
+		b.St64(rDump, 16, iter)
+		b.Ld64(w, rSlice, 0)
+		b.St64(rDump, 24, w)
+		b.Halt()
+
+		c.Progs = append(c.Progs, b.Build())
+	}
+	c.Mem = lay.Image()
+	return c
+}

@@ -1,0 +1,18 @@
+package isa
+
+var opByName = func() map[string]Op {
+	m := make(map[string]Op, numOps)
+	for op, name := range opNames {
+		if name != "" {
+			m[name] = Op(op)
+		}
+	}
+	return m
+}()
+
+// OpByName maps a mnemonic (the Op.String form) back to its Op value.
+// Used by serialized program formats (fuzz repro files).
+func OpByName(name string) (Op, bool) {
+	op, ok := opByName[name]
+	return op, ok
+}

@@ -312,6 +312,15 @@ func Run(cfg Config, w *Workload) (*Result, error) {
 		}
 	}
 
+	// Every core must have returned every microarchitectural resource:
+	// leaks here mean a recovery path lost track of a uop even though the
+	// run "finished". Cheap (runs once), so always on.
+	for _, c := range cores {
+		if err := c.CheckQuiescent(); err != nil {
+			return nil, fmt.Errorf("sim: workload %s not quiescent: %w", w.Name, err)
+		}
+	}
+
 	if w.Check != nil {
 		if err := w.Check(mem); err != nil {
 			return nil, fmt.Errorf("sim: workload %s output check failed: %w", w.Name, err)
