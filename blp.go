@@ -16,6 +16,7 @@
 package blp
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"os"
@@ -231,6 +232,15 @@ func Speedup(base, other *Result) float64 {
 // validating the final memory image against the host reference. Every
 // call simulates afresh; use a Runner for memoized, concurrent execution.
 func Run(o Options) (*Result, error) {
+	return RunContext(context.Background(), o)
+}
+
+// RunContext is Run honoring ctx: cancellation is checked before the
+// (potentially slow) workload build and periodically inside the sim
+// driver's stepping loop, so a canceled caller gets its goroutine and
+// CPU back mid-simulation instead of waiting for the run to finish. The
+// returned error wraps ctx.Err().
+func RunContext(ctx context.Context, o Options) (*Result, error) {
 	n := o.normalized()
 	spec := kernels.Spec{
 		Kernel:  n.Benchmark,
@@ -242,6 +252,9 @@ func Run(o Options) (*Result, error) {
 		Threads: n.Cores * n.SMT,
 	}
 
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("blp: %s (%v) canceled before build: %w", o.Benchmark, o.Mode, err)
+	}
 	w, err := kernels.Build(spec)
 	if err != nil {
 		return nil, err
@@ -268,6 +281,7 @@ func Run(o Options) (*Result, error) {
 	}
 	cfg.WatchdogCycles = n.WatchdogCycles
 	cfg.Recorder = n.Flight
+	cfg.Ctx = ctx
 
 	r, err := sim.Run(cfg, w)
 	if err != nil {

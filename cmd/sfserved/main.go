@@ -1,0 +1,69 @@
+// Command sfserved runs the simulation service: the blp experiment
+// harness behind a multi-tenant HTTP API (see internal/serve).
+//
+//	sfserved                        # serve on :8344, NumCPU sim workers
+//	sfserved -addr :9000 -jobs 8
+//	sfserved -cache-mb 256 -queue 128 -run-timeout 2m
+//
+//	curl -s localhost:8344/healthz
+//	curl -s -X POST localhost:8344/v1/run \
+//	     -d '{"benchmark":"bfs","mode":"outer","scale":12}'
+//	curl -sN -X POST localhost:8344/v1/sweep \
+//	     -d '{"runs":[{"benchmark":"cc"},{"benchmark":"cc","mode":"outer"}]}'
+//	curl -s 'localhost:8344/v1/figures/4?delta=-2&format=csv'
+//	curl -s localhost:8344/metrics
+//
+// SIGINT/SIGTERM drain gracefully: the listener closes, in-flight
+// requests finish (bounded by -drain-timeout), and a final metrics
+// snapshot is logged. A second signal forces an immediate close.
+package main
+
+import (
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"syscall"
+	"time"
+
+	"repro/internal/serve"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("sfserved: ")
+
+	addr := flag.String("addr", ":8344", "listen address")
+	jobs := flag.Int("jobs", 0, "max concurrent simulations (0 = NumCPU)")
+	cacheMB := flag.Int("cache-mb", 64, "result-cache budget in MiB (0 = unbounded)")
+	concurrent := flag.Int("concurrent", 0, "max admitted requests (0 = 2x jobs)")
+	queueDepth := flag.Int("queue", 64, "requests waiting for admission before 429s")
+	runTimeout := flag.Duration("run-timeout", 5*time.Minute, "per-run timeout (0 = none)")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "graceful-shutdown bound")
+	flag.Parse()
+
+	cacheBytes := int64(*cacheMB) << 20
+	if *cacheMB == 0 {
+		cacheBytes = -1 // serve maps 0 to the default; negative = unbounded
+	}
+	s := serve.New(serve.Config{
+		Addr:          *addr,
+		Jobs:          *jobs,
+		CacheBytes:    cacheBytes,
+		MaxConcurrent: *concurrent,
+		QueueDepth:    *queueDepth,
+		RunTimeout:    *runTimeout,
+		Logf:          log.Printf,
+	})
+	drained := s.DrainOnSignal(*drainTimeout, syscall.SIGINT, syscall.SIGTERM)
+
+	err := s.ListenAndServe()
+	if !errors.Is(err, http.ErrServerClosed) {
+		log.Fatal(err)
+	}
+	// The listener is closed; wait for the drain to finish in-flight
+	// work and flush the final metrics snapshot.
+	if err := <-drained; err != nil {
+		log.Fatalf("drain: %v", err)
+	}
+}

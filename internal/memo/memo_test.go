@@ -1,0 +1,285 @@
+package memo
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func bg() context.Context { return context.Background() }
+
+// byteCost charges each string value its length, ignoring the key.
+func byteCost(_ string, v string) int64 { return int64(len(v)) }
+
+func TestDoComputesOnceThenHits(t *testing.T) {
+	c := New[string](4, 0, nil)
+	calls := 0
+	fn := func() (string, error) { calls++; return "v", nil }
+	v, err, shared := c.Do(bg(), "k", fn)
+	if v != "v" || err != nil || shared {
+		t.Fatalf("first Do = %q, %v, shared=%v", v, err, shared)
+	}
+	v, err, shared = c.Do(bg(), "k", fn)
+	if v != "v" || err != nil || !shared {
+		t.Fatalf("second Do = %q, %v, shared=%v", v, err, shared)
+	}
+	if calls != 1 {
+		t.Fatalf("computed %d times, want 1", calls)
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Joined != 0 {
+		t.Fatalf("stats = %+v, want 1 hit / 1 miss / 0 joined", st)
+	}
+}
+
+func TestErrorsAreNotCached(t *testing.T) {
+	c := New[string](1, 0, nil)
+	calls := 0
+	fail := errors.New("boom")
+	fn := func() (string, error) {
+		calls++
+		if calls == 1 {
+			return "", fail
+		}
+		return "ok", nil
+	}
+	if _, err, _ := c.Do(bg(), "k", fn); !errors.Is(err, fail) {
+		t.Fatalf("first Do err = %v, want boom", err)
+	}
+	if st := c.Stats(); st.Entries != 0 {
+		t.Fatalf("error was cached: %+v", st)
+	}
+	v, err, shared := c.Do(bg(), "k", fn)
+	if v != "ok" || err != nil || shared {
+		t.Fatalf("retry Do = %q, %v, shared=%v — error poisoned the cache", v, err, shared)
+	}
+}
+
+// Concurrent requesters of one key must run the function exactly once and
+// all share its result; later arrivals count as joined.
+func TestSingleflightJoin(t *testing.T) {
+	c := New[string](4, 0, nil)
+	var calls atomic.Int64
+	started := make(chan struct{})
+	release := make(chan struct{})
+	fn := func() (string, error) {
+		calls.Add(1)
+		close(started)
+		<-release
+		return "v", nil
+	}
+	var wg sync.WaitGroup
+	first := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		close(first)
+		if v, err, _ := c.Do(bg(), "k", fn); v != "v" || err != nil {
+			t.Errorf("leader Do = %q, %v", v, err)
+		}
+	}()
+	<-first
+	<-started // the leader is inside fn; everyone else must join
+	const waiters = 8
+	for i := 0; i < waiters; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			v, err, shared := c.Do(bg(), "k", func() (string, error) {
+				t.Error("duplicate computation ran")
+				return "", nil
+			})
+			if v != "v" || err != nil || !shared {
+				t.Errorf("waiter Do = %q, %v, shared=%v", v, err, shared)
+			}
+		}()
+	}
+	// Give the waiters a moment to attach, then release the leader.
+	time.Sleep(10 * time.Millisecond)
+	close(release)
+	wg.Wait()
+	if n := calls.Load(); n != 1 {
+		t.Fatalf("fn ran %d times, want 1", n)
+	}
+	if st := c.Stats(); st.Joined != waiters {
+		t.Fatalf("joined = %d, want %d", st.Joined, waiters)
+	}
+}
+
+// A waiter whose context is canceled stops waiting with ctx.Err() while
+// the in-flight computation finishes for everyone else.
+func TestWaiterCancellation(t *testing.T) {
+	c := New[string](1, 0, nil)
+	started := make(chan struct{})
+	release := make(chan struct{})
+	go c.Do(bg(), "k", func() (string, error) {
+		close(started)
+		<-release
+		return "v", nil
+	})
+	<-started
+	ctx, cancel := context.WithCancel(bg())
+	errc := make(chan error, 1)
+	go func() {
+		_, err, _ := c.Do(ctx, "k", nil) // fn unused: must join in flight
+		errc <- err
+	}()
+	time.Sleep(5 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-errc:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("waiter err = %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("canceled waiter did not return")
+	}
+	close(release)
+	// The computation still completed and is cached.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if v, ok := c.Get("k"); ok {
+			if v != "v" {
+				t.Fatalf("cached %q, want v", v)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("leader result never cached")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestLRUEvictionOrderAndBudget(t *testing.T) {
+	// One shard, budget 10 bytes, 4-byte values: holds 2 entries.
+	c := New[string](1, 10, byteCost)
+	var evicted []string
+	c.OnEvict(func(key string, _ string) { evicted = append(evicted, key) })
+	put := func(k string) {
+		c.Do(bg(), k, func() (string, error) { return "xxxx", nil })
+	}
+	put("a")
+	put("b")
+	c.Do(bg(), "a", nil) // touch a: now b is least recent
+	put("c")             // 12 bytes > 10: evict b
+	if len(evicted) != 1 || evicted[0] != "b" {
+		t.Fatalf("evicted %v, want [b]", evicted)
+	}
+	if _, ok := c.Get("a"); !ok {
+		t.Fatal("recently used entry a evicted")
+	}
+	if _, ok := c.Get("b"); ok {
+		t.Fatal("LRU entry b survived")
+	}
+	st := c.Stats()
+	if st.Bytes > 10 || st.Entries != 2 || st.Evictions != 1 {
+		t.Fatalf("stats = %+v, want ≤10 bytes, 2 entries, 1 eviction", st)
+	}
+}
+
+// An entry bigger than the whole budget is still cached (alone): the most
+// recent entry is never evicted, so singleflight keeps deduplicating hot
+// oversized results instead of thrashing.
+func TestOversizedEntryCachedAlone(t *testing.T) {
+	c := New[string](1, 4, byteCost)
+	c.Do(bg(), "small", func() (string, error) { return "xx", nil })
+	big := strings.Repeat("y", 100)
+	c.Do(bg(), "big", func() (string, error) { return big, nil })
+	if _, ok := c.Get("big"); !ok {
+		t.Fatal("oversized entry not retained")
+	}
+	if _, ok := c.Get("small"); ok {
+		t.Fatal("older entry survived an over-budget insert")
+	}
+	if st := c.Stats(); st.Entries != 1 {
+		t.Fatalf("entries = %d, want 1", st.Entries)
+	}
+}
+
+// The budget bounds the resident set under a long stream of distinct keys
+// across every shard — the regression the Runner's unbounded map had.
+func TestBudgetBoundedUnderChurn(t *testing.T) {
+	const budget = 1 << 10
+	c := New[string](8, budget, byteCost)
+	for i := 0; i < 2000; i++ {
+		k := fmt.Sprintf("key-%d", i)
+		c.Do(bg(), k, func() (string, error) { return strings.Repeat("v", 64), nil })
+		if st := c.Stats(); st.Bytes > budget {
+			t.Fatalf("resident bytes %d exceed budget %d at insert %d", st.Bytes, budget, i)
+		}
+	}
+	st := c.Stats()
+	if st.Evictions == 0 {
+		t.Fatal("churn caused no evictions")
+	}
+	if st.Entries >= 2000 {
+		t.Fatal("every key retained: cache is unbounded")
+	}
+}
+
+func TestPanicDoesNotStrandWaiters(t *testing.T) {
+	c := New[string](1, 0, nil)
+	started := make(chan struct{})
+	errc := make(chan error, 1)
+	go func() {
+		defer func() { recover() }() // the leader re-raises
+		c.Do(bg(), "k", func() (string, error) {
+			close(started)
+			time.Sleep(10 * time.Millisecond)
+			panic("injected")
+		})
+	}()
+	<-started
+	go func() {
+		_, err, _ := c.Do(bg(), "k", nil)
+		errc <- err
+	}()
+	select {
+	case err := <-errc:
+		if err == nil || !strings.Contains(err.Error(), "panicked") {
+			t.Fatalf("waiter err = %v, want panic-converted error", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("waiter stranded after leader panic")
+	}
+	// The key is not stuck in flight: a retry computes fresh.
+	v, err, _ := c.Do(bg(), "k", func() (string, error) { return "ok", nil })
+	if v != "ok" || err != nil {
+		t.Fatalf("retry after panic = %q, %v", v, err)
+	}
+}
+
+// Hammer one hot key plus a churning tail from many goroutines; meant for
+// -race. Every response for the hot key must be the canonical value.
+func TestConcurrentChurn(t *testing.T) {
+	c := New[string](4, 512, byteCost)
+	var wg sync.WaitGroup
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				if i%3 == 0 {
+					v, err, _ := c.Do(bg(), "hot", func() (string, error) { return "HOT", nil })
+					if err != nil || v != "HOT" {
+						t.Errorf("hot key = %q, %v", v, err)
+						return
+					}
+				} else {
+					k := fmt.Sprintf("cold-%d-%d", g, i)
+					c.Do(bg(), k, func() (string, error) { return strings.Repeat("c", 32), nil })
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if st := c.Stats(); st.Bytes > 512 {
+		t.Fatalf("resident bytes %d exceed budget", st.Bytes)
+	}
+}

@@ -1,0 +1,51 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"time"
+)
+
+// maxBodyBytes bounds request bodies (a sweep of ~1k runs is well under
+// this); oversized bodies fail decoding with a 400 instead of letting a
+// client stream gigabytes at the decoder.
+const maxBodyBytes = 4 << 20
+
+// instrument wraps a handler with the cross-cutting per-request concerns:
+// body limits, request/latency accounting, and panic containment (a
+// panicking handler answers 500 and the server keeps serving — one bad
+// request must not take down a shared simulation service).
+func (s *Server) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if r.Body != nil {
+			r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
+		}
+		s.metrics.requestStart(route)
+		start := time.Now()
+		defer func() {
+			if p := recover(); p != nil {
+				s.metrics.addError()
+				s.logf("panic serving %s: %v", route, p)
+				// Best effort: if the handler already wrote, this is a no-op
+				// on the status line and the client sees a truncated body.
+				writeError(w, http.StatusInternalServerError, "internal error")
+			}
+			s.metrics.requestEnd(time.Since(start))
+		}()
+		h(w, r)
+	}
+}
+
+// writeJSON writes v with the given status; encoding errors past the
+// header are unrecoverable mid-stream and are ignored by design.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, errorResponse{Error: msg})
+}

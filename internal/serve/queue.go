@@ -1,0 +1,59 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+)
+
+// ErrQueueFull is returned by acquire when the bounded waiting room is
+// already at capacity; handlers translate it into 429 + Retry-After.
+var ErrQueueFull = errors.New("serve: admission queue full")
+
+// queue is the server's admission controller: at most `concurrent`
+// requests execute simulations at once, at most `maxWait` more wait for
+// a slot, and everything beyond that is rejected immediately so load
+// sheds at the front door instead of accumulating goroutines without
+// bound. Rejection is intentionally cheap — no allocation, no lock.
+type queue struct {
+	slots   chan struct{}
+	waiting atomic.Int64
+	maxWait int64
+}
+
+func newQueue(concurrent, depth int) *queue {
+	if concurrent < 1 {
+		concurrent = 1
+	}
+	if depth < 0 {
+		depth = 0
+	}
+	return &queue{slots: make(chan struct{}, concurrent), maxWait: int64(depth)}
+}
+
+// acquire admits the request or fails: nil on admission, ErrQueueFull
+// when the waiting room is full, ctx.Err() if the caller gave up (or the
+// server started draining) while queued.
+func (q *queue) acquire(ctx context.Context) error {
+	select {
+	case q.slots <- struct{}{}:
+		return nil
+	default:
+	}
+	if q.waiting.Add(1) > q.maxWait {
+		q.waiting.Add(-1)
+		return ErrQueueFull
+	}
+	defer q.waiting.Add(-1)
+	select {
+	case q.slots <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+func (q *queue) release() { <-q.slots }
+
+// depth is the number of requests currently waiting for admission.
+func (q *queue) depth() int64 { return q.waiting.Load() }

@@ -1,0 +1,487 @@
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	blp "repro"
+)
+
+// newTestServer builds a Server (no listener) and an httptest front end.
+func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	s := New(cfg)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+func postJSON(t *testing.T, url, body string) *http.Response {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+func decodeInto(t *testing.T, resp *http.Response, v any) {
+	t.Helper()
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+		t.Fatalf("decoding response: %v", err)
+	}
+}
+
+func getMetrics(t *testing.T, baseURL string) MetricsSnapshot {
+	t.Helper()
+	resp, err := http.Get(baseURL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics status %d", resp.StatusCode)
+	}
+	var snap MetricsSnapshot
+	decodeInto(t, resp, &snap)
+	return snap
+}
+
+func TestRunEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	body := `{"benchmark":"cc","scale":6}`
+
+	resp := postJSON(t, ts.URL+"/v1/run", body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	var rr RunResponse
+	decodeInto(t, resp, &rr)
+	if rr.SchemaVersion != SchemaVersion {
+		t.Fatalf("schema_version %d, want %d", rr.SchemaVersion, SchemaVersion)
+	}
+	if rr.Cached {
+		t.Fatal("first request reported cached")
+	}
+	if rr.Result == nil || rr.Result.Cycles <= 0 || rr.Result.Stats.Committed == 0 {
+		t.Fatalf("implausible result: %+v", rr.Result)
+	}
+	if rr.Key == "" {
+		t.Fatal("missing canonical key")
+	}
+
+	// The identical request — spelled with explicit defaults — is served
+	// from the shared cache.
+	resp = postJSON(t, ts.URL+"/v1/run", `{"benchmark":"cc","scale":6,"seed":1,"degree":16}`)
+	var rr2 RunResponse
+	decodeInto(t, resp, &rr2)
+	if !rr2.Cached {
+		t.Fatal("duplicate request was not served from cache")
+	}
+	if rr2.Key != rr.Key || rr2.Result.Cycles != rr.Result.Cycles {
+		t.Fatal("duplicate served a different result")
+	}
+	snap := getMetrics(t, ts.URL)
+	if snap.Cache.Hits+snap.Cache.Joined == 0 {
+		t.Fatalf("metrics show no cache sharing: %+v", snap.Cache)
+	}
+	if snap.Sims.Simulated != 1 {
+		t.Fatalf("simulated %d, want 1", snap.Sims.Simulated)
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	cases := []struct {
+		name, body string
+	}{
+		{"malformed json", `{"benchmark":`},
+		{"unknown field", `{"benchmark":"cc","bogus":1}`},
+		{"missing benchmark", `{}`},
+		{"unknown benchmark", `{"benchmark":"dijkstra"}`},
+		{"unknown mode", `{"benchmark":"cc","mode":"sideways"}`},
+		{"inner on non-sliceable", `{"benchmark":"bfs","mode":"inner"}`},
+		{"bad smt", `{"benchmark":"cc","smt":3}`},
+		{"bad scale", `{"benchmark":"cc","scale":31}`},
+		{"bad predictor", `{"benchmark":"cc","predictor":"psychic"}`},
+		{"reserve below sentinel", `{"benchmark":"cc","reserve":-2}`},
+		{"negative watchdog", `{"benchmark":"cc","watchdog_cycles":-1}`},
+	}
+	for _, tc := range cases {
+		resp := postJSON(t, ts.URL+"/v1/run", tc.body)
+		var er errorResponse
+		decodeInto(t, resp, &er)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400 (%s)", tc.name, resp.StatusCode, er.Error)
+			continue
+		}
+		if er.Error == "" {
+			t.Errorf("%s: empty error body", tc.name)
+		}
+	}
+	// None of those may have reached a simulator.
+	if snap := getMetrics(t, ts.URL); snap.Sims.Simulated != 0 {
+		t.Fatalf("validation failures simulated %d runs", snap.Sims.Simulated)
+	}
+
+	// Wrong method on a valid route.
+	resp, err := http.Get(ts.URL + "/v1/run")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /v1/run status %d, want 405", resp.StatusCode)
+	}
+}
+
+// readSweepItems parses an NDJSON sweep response.
+func readSweepItems(t *testing.T, resp *http.Response) []SweepItem {
+	t.Helper()
+	defer resp.Body.Close()
+	var items []SweepItem
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var it SweepItem
+		if err := json.Unmarshal(line, &it); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", line, err)
+		}
+		items = append(items, it)
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return items
+}
+
+func TestSweepStreaming(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	body := `{"runs":[
+		{"benchmark":"cc","scale":6},
+		{"benchmark":"cc","scale":6,"mode":"outer"},
+		{"benchmark":"cc","scale":6}
+	]}`
+	resp := postJSON(t, ts.URL+"/v1/sweep", body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("content-type %q", ct)
+	}
+	items := readSweepItems(t, resp)
+	if len(items) != 3 {
+		t.Fatalf("got %d items, want 3", len(items))
+	}
+	seen := map[int]bool{}
+	cached := 0
+	for _, it := range items {
+		if it.SchemaVersion != SchemaVersion {
+			t.Fatalf("item schema_version %d", it.SchemaVersion)
+		}
+		if it.Error != "" || it.Result == nil || it.Result.Cycles <= 0 {
+			t.Fatalf("bad item: %+v", it)
+		}
+		seen[it.Index] = true
+		if it.Cached {
+			cached++
+		}
+	}
+	if len(seen) != 3 {
+		t.Fatalf("indices %v do not cover the request", seen)
+	}
+	// Runs 0 and 2 share a canonical key: one simulated, one shared.
+	if cached == 0 {
+		t.Fatal("duplicate run inside the sweep was not deduplicated")
+	}
+}
+
+func TestSweepValidation(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp := postJSON(t, ts.URL+"/v1/sweep", `{"runs":[]}`)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("empty sweep: status %d, want 400", resp.StatusCode)
+	}
+
+	resp = postJSON(t, ts.URL+"/v1/sweep",
+		`{"runs":[{"benchmark":"cc","scale":6},{"benchmark":"zz"}]}`)
+	var er errorResponse
+	decodeInto(t, resp, &er)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("invalid entry: status %d, want 400", resp.StatusCode)
+	}
+	if !strings.Contains(er.Error, "runs[1]") {
+		t.Fatalf("error %q does not name the offending entry", er.Error)
+	}
+
+	var big strings.Builder
+	big.WriteString(`{"runs":[`)
+	for i := 0; i <= maxSweepRuns; i++ {
+		if i > 0 {
+			big.WriteString(",")
+		}
+		fmt.Fprintf(&big, `{"benchmark":"cc","seed":%d}`, i+1)
+	}
+	big.WriteString(`]}`)
+	resp = postJSON(t, ts.URL+"/v1/sweep", big.String())
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("oversized sweep: status %d, want 400", resp.StatusCode)
+	}
+	if snap := getMetrics(t, ts.URL); snap.Sims.Simulated != 0 {
+		t.Fatalf("rejected sweeps simulated %d runs", snap.Sims.Simulated)
+	}
+}
+
+// A run that fails structural validation deep in the core (zero reserve
+// under selective flush) reports its error on its own NDJSON line; the
+// sweep itself still succeeds.
+func TestSweepItemError(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	body := `{"runs":[
+		{"benchmark":"cc","scale":6},
+		{"benchmark":"cc","scale":6,"mode":"outer","reserve":-1}
+	]}`
+	resp := postJSON(t, ts.URL+"/v1/sweep", body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	items := readSweepItems(t, resp)
+	if len(items) != 2 {
+		t.Fatalf("got %d items", len(items))
+	}
+	var ok, failed int
+	for _, it := range items {
+		switch {
+		case it.Error == "" && it.Result != nil:
+			ok++
+		case it.Error != "" && it.Result == nil:
+			failed++
+		default:
+			t.Fatalf("inconsistent item: %+v", it)
+		}
+	}
+	if ok != 1 || failed != 1 {
+		t.Fatalf("ok=%d failed=%d, want 1/1", ok, failed)
+	}
+}
+
+func TestFigureEndpoints(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+
+	// table1 is computed without simulations.
+	resp, err := http.Get(ts.URL + "/v1/figures/table1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("table1 status %d", resp.StatusCode)
+	}
+	var rep blp.Report
+	decodeInto(t, resp, &rep)
+	if rep.SchemaVersion != blp.MetricsSchemaVersion || len(rep.Figures) != 1 {
+		t.Fatalf("bad report: %+v", rep)
+	}
+	if rep.Figures[0].ID != "table1" {
+		t.Fatalf("unexpected figure id %q", rep.Figures[0].ID)
+	}
+
+	resp, err = http.Get(ts.URL + "/v1/figures/table1?format=csv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "text/csv" {
+		t.Fatalf("csv content-type %q", ct)
+	}
+	rows, err := csv.NewReader(resp.Body).ReadAll()
+	resp.Body.Close()
+	if err != nil {
+		t.Fatalf("csv parse: %v", err)
+	}
+	if len(rows) < 2 {
+		t.Fatalf("csv has %d rows", len(rows))
+	}
+
+	for path, want := range map[string]int{
+		"/v1/figures/nope":              http.StatusNotFound,
+		"/v1/figures/4?delta=x":         http.StatusBadRequest,
+		"/v1/figures/4?format=yaml":     http.StatusBadRequest,
+		"/v1/figures/table1?cores=zero": http.StatusBadRequest,
+	} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != want {
+			t.Errorf("%s: status %d, want %d", path, resp.StatusCode, want)
+		}
+	}
+}
+
+// A simulation-backed figure regenerates through the shared Runner and
+// reuses the cache across requests.
+func TestFigureWithRuns(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	resp, err := http.Get(ts.URL + "/v1/figures/4?delta=-10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("fig4 status %d", resp.StatusCode)
+	}
+	var rep blp.Report
+	decodeInto(t, resp, &rep)
+	if len(rep.Figures) != 1 || len(rep.Figures[0].Values) == 0 {
+		t.Fatalf("fig4 report empty: %+v", rep)
+	}
+	simulated := s.Runner().Stats().Simulated
+	if simulated == 0 {
+		t.Fatal("figure ran no simulations")
+	}
+	// Second request: fully served from the Runner's cache.
+	resp, err = http.Get(ts.URL + "/v1/figures/4?delta=-10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if again := s.Runner().Stats().Simulated; again != simulated {
+		t.Fatalf("figure re-simulated: %d -> %d", simulated, again)
+	}
+}
+
+// Backpressure: with one execution slot and a one-deep waiting room, a
+// third concurrent request is rejected with 429 + Retry-After while the
+// first two eventually succeed. The blocking "simulation" is a test seam
+// — no timing assumptions.
+func TestBackpressure429(t *testing.T) {
+	s, ts := newTestServer(t, Config{MaxConcurrent: 1, QueueDepth: 1})
+	started := make(chan struct{}, 8)
+	release := make(chan struct{})
+	s.runCached = func(ctx context.Context, o blp.Options) (*blp.Result, bool, error) {
+		started <- struct{}{}
+		select {
+		case <-release:
+			return &blp.Result{Cycles: 7}, false, nil
+		case <-ctx.Done():
+			return nil, false, ctx.Err()
+		}
+	}
+
+	body := `{"benchmark":"cc","scale":6}`
+	type outcome struct{ status int }
+	results := make(chan outcome, 2)
+	do := func() {
+		resp := postJSON(t, ts.URL+"/v1/run", body)
+		resp.Body.Close()
+		results <- outcome{resp.StatusCode}
+	}
+	go do()
+	<-started // A holds the only slot
+
+	go do() // B queues
+	deadline := time.Now().Add(10 * time.Second)
+	for getMetrics(t, ts.URL).QueueDepth != 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("second request never queued")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	resp := postJSON(t, ts.URL+"/v1/run", body) // C: waiting room full
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("third request status %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("429 without Retry-After")
+	}
+
+	close(release)
+	for i := 0; i < 2; i++ {
+		if o := <-results; o.status != http.StatusOK {
+			t.Fatalf("admitted request status %d", o.status)
+		}
+	}
+	snap := getMetrics(t, ts.URL)
+	if snap.Rejected != 1 {
+		t.Fatalf("rejected = %d, want 1", snap.Rejected)
+	}
+	if snap.QueueDepth != 0 {
+		t.Fatalf("queue depth %d after drain", snap.QueueDepth)
+	}
+}
+
+// The per-run timeout propagates as context cancellation and surfaces as
+// 504.
+func TestRunTimeout(t *testing.T) {
+	s, ts := newTestServer(t, Config{RunTimeout: 20 * time.Millisecond})
+	s.runCached = func(ctx context.Context, o blp.Options) (*blp.Result, bool, error) {
+		<-ctx.Done()
+		return nil, false, ctx.Err()
+	}
+	resp := postJSON(t, ts.URL+"/v1/run", `{"benchmark":"cc","scale":6}`)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("status %d, want 504", resp.StatusCode)
+	}
+	if snap := getMetrics(t, ts.URL); snap.Timeouts != 1 {
+		t.Fatalf("timeouts = %d, want 1", snap.Timeouts)
+	}
+}
+
+func TestHealthz(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz status %d", resp.StatusCode)
+	}
+	s.draining.Store(true)
+	resp, err = http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("draining healthz status %d, want 503", resp.StatusCode)
+	}
+}
+
+// A panicking handler answers 500 and the server keeps serving.
+func TestPanicContained(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	s.runCached = func(ctx context.Context, o blp.Options) (*blp.Result, bool, error) {
+		panic("injected handler panic")
+	}
+	resp := postJSON(t, ts.URL+"/v1/run", `{"benchmark":"cc","scale":6}`)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("status %d, want 500", resp.StatusCode)
+	}
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatal("server unusable after handler panic")
+	}
+}

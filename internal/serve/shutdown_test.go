@@ -1,0 +1,202 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"strings"
+	"sync/atomic"
+	"syscall"
+	"testing"
+	"time"
+
+	blp "repro"
+)
+
+// startServer runs a Server on a real loopback listener (unlike httptest,
+// its listener participates in Shutdown) and returns its base URL and
+// the channel Serve's error arrives on.
+func startServer(t *testing.T, s *Server) (string, <-chan error) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	served := make(chan error, 1)
+	go func() { served <- s.Serve(ln) }()
+	return "http://" + ln.Addr().String(), served
+}
+
+// blockingSeam installs a deterministic "simulation" that parks until
+// released; returns (started, release).
+func blockingSeam(s *Server) (chan struct{}, chan struct{}) {
+	started := make(chan struct{}, 8)
+	release := make(chan struct{})
+	s.runCached = func(ctx context.Context, o blp.Options) (*blp.Result, bool, error) {
+		started <- struct{}{}
+		select {
+		case <-release:
+			return &blp.Result{Cycles: 7}, false, nil
+		case <-ctx.Done():
+			return nil, false, ctx.Err()
+		}
+	}
+	return started, release
+}
+
+// Graceful shutdown: the in-flight request completes with a full 200
+// response, new connections are refused once the listener closes, Serve
+// returns http.ErrServerClosed, and Shutdown returns nil within its
+// bound.
+func TestGracefulShutdown(t *testing.T) {
+	s := New(Config{})
+	started, release := blockingSeam(s)
+	base, served := startServer(t, s)
+
+	var status atomic.Int64
+	reqDone := make(chan error, 1)
+	go func() {
+		resp, err := http.Post(base+"/v1/run", "application/json",
+			strings.NewReader(`{"benchmark":"cc","scale":6}`))
+		if err != nil {
+			reqDone <- err
+			return
+		}
+		defer resp.Body.Close()
+		status.Store(int64(resp.StatusCode))
+		var rr RunResponse
+		reqDone <- decodeJSONBody(resp, &rr)
+	}()
+	<-started // the request is inside its "simulation"
+
+	shutDone := make(chan error, 1)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	go func() { shutDone <- s.Shutdown(ctx) }()
+
+	// The listener must close: new connections fail while the in-flight
+	// request is still running.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		conn, err := net.DialTimeout("tcp", s.Addr().String(), time.Second)
+		if err != nil {
+			break
+		}
+		conn.Close()
+		if time.Now().After(deadline) {
+			t.Fatal("listener still accepting during drain")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	select {
+	case err := <-reqDone:
+		t.Fatalf("in-flight request finished before release: %v", err)
+	default:
+	}
+
+	close(release)
+	if err := <-reqDone; err != nil {
+		t.Fatalf("in-flight request failed during drain: %v", err)
+	}
+	if status.Load() != http.StatusOK {
+		t.Fatalf("in-flight request status %d", status.Load())
+	}
+	if err := <-shutDone; err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	if err := <-served; !errors.Is(err, http.ErrServerClosed) {
+		t.Fatalf("Serve returned %v, want ErrServerClosed", err)
+	}
+}
+
+// An expired drain context gives up on stuck requests and reports it.
+func TestShutdownDrainTimeout(t *testing.T) {
+	s := New(Config{})
+	started, release := blockingSeam(s)
+	defer close(release)
+	base, served := startServer(t, s)
+
+	go http.Post(base+"/v1/run", "application/json",
+		strings.NewReader(`{"benchmark":"cc","scale":6}`))
+	<-started
+
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	if err := s.Shutdown(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Shutdown = %v, want DeadlineExceeded", err)
+	}
+	if err := <-served; !errors.Is(err, http.ErrServerClosed) {
+		t.Fatalf("Serve returned %v", err)
+	}
+}
+
+// SIGTERM (via DrainOnSignal, exactly as cmd/sfserved wires it) drains
+// cleanly: the signal is delivered to this test process, the in-flight
+// request completes, and the drain reports success.
+func TestSIGTERMDrains(t *testing.T) {
+	s := New(Config{})
+	started, release := blockingSeam(s)
+	base, served := startServer(t, s)
+	drained := s.DrainOnSignal(30*time.Second, syscall.SIGTERM)
+
+	reqDone := make(chan error, 1)
+	go func() {
+		resp, err := http.Post(base+"/v1/run", "application/json",
+			strings.NewReader(`{"benchmark":"cc","scale":6}`))
+		if err != nil {
+			reqDone <- err
+			return
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			reqDone <- fmt.Errorf("status %d", resp.StatusCode)
+			return
+		}
+		var rr RunResponse
+		reqDone <- decodeJSONBody(resp, &rr)
+	}()
+	<-started
+
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	// Drain has begun once the listener refuses new connections.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		conn, err := net.DialTimeout("tcp", s.Addr().String(), time.Second)
+		if err != nil {
+			break
+		}
+		conn.Close()
+		if time.Now().After(deadline) {
+			t.Fatal("SIGTERM did not close the listener")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	close(release)
+	if err := <-reqDone; err != nil {
+		t.Fatalf("in-flight request failed across SIGTERM: %v", err)
+	}
+	select {
+	case err := <-drained:
+		if err != nil {
+			t.Fatalf("drain: %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("drain never completed")
+	}
+	if err := <-served; !errors.Is(err, http.ErrServerClosed) {
+		t.Fatalf("Serve returned %v", err)
+	}
+}
+
+// decodeJSONBody is decodeInto without the testing.T plumbing (usable
+// from client goroutines).
+func decodeJSONBody(resp *http.Response, v any) error {
+	return json.NewDecoder(resp.Body).Decode(v)
+}

@@ -1,0 +1,135 @@
+package serve
+
+import (
+	"fmt"
+	"net/http"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// The acceptance soak: 64 concurrent sweep clients against one server —
+// half submitting an identical sweep (singleflight + cache territory),
+// half submitting client-distinct sweeps (cache churn) — over real
+// scale-6 simulations, with a cache budget small enough to force LRU
+// eviction. Run under -race in CI's serve job. Asserts:
+//
+//   - every sweep is admitted (no 429s at this queue depth) and every
+//     run line is well-formed,
+//   - duplicate requests were shared rather than re-simulated
+//     (cache hits + joins visible in /metrics),
+//   - the resident cache respected its byte budget and actually evicted,
+//   - the admission queue returned to empty.
+func TestSoakConcurrentSweeps(t *testing.T) {
+	const (
+		clients     = 64
+		runsPerSwp  = 4
+		cacheBudget = 32 << 10
+	)
+	s, ts := newTestServer(t, Config{
+		Jobs:          runtime.NumCPU(),
+		CacheBytes:    cacheBudget,
+		MaxConcurrent: clients,
+		QueueDepth:    2 * clients,
+	})
+
+	identical := `{"runs":[
+		{"benchmark":"cc","scale":6},
+		{"benchmark":"cc","scale":6,"mode":"outer"},
+		{"benchmark":"bfs","scale":6},
+		{"benchmark":"bfs","scale":6,"mode":"outer"}
+	]}`
+	distinct := func(client int) string {
+		var runs []string
+		for j := 0; j < runsPerSwp; j++ {
+			// Seed partitions the key space per client: every run is a
+			// distinct canonical configuration.
+			runs = append(runs,
+				fmt.Sprintf(`{"benchmark":"cc","scale":6,"seed":%d}`, client*runsPerSwp+j+100))
+		}
+		return `{"runs":[` + strings.Join(runs, ",") + `]}`
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			body := identical
+			if c%2 == 1 {
+				body = distinct(c)
+			}
+			resp, err := http.Post(ts.URL+"/v1/sweep", "application/json", strings.NewReader(body))
+			if err != nil {
+				errs <- err
+				return
+			}
+			if resp.StatusCode != http.StatusOK {
+				resp.Body.Close()
+				errs <- fmt.Errorf("client %d: status %d", c, resp.StatusCode)
+				return
+			}
+			items := readSweepItems(t, resp)
+			if len(items) != runsPerSwp {
+				errs <- fmt.Errorf("client %d: %d items", c, len(items))
+				return
+			}
+			for _, it := range items {
+				if it.Error != "" || it.Result == nil || it.Result.Cycles <= 0 {
+					errs <- fmt.Errorf("client %d: bad item %+v", c, it)
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	if t.Failed() {
+		t.FailNow()
+	}
+
+	snap := getMetrics(t, ts.URL)
+	if snap.Rejected != 0 {
+		t.Fatalf("soak shed load: %d rejections at queue depth %d", snap.Rejected, snap.QueueCapacity)
+	}
+	totalRuns := clients * runsPerSwp
+	if snap.Sims.Simulated+snap.Sims.Cached != totalRuns {
+		t.Fatalf("simulated %d + cached %d != %d requests",
+			snap.Sims.Simulated, snap.Sims.Cached, totalRuns)
+	}
+	// 32 identical clients × 4 runs share 4 canonical keys: the bulk of
+	// those 128 requests must have been answered by singleflight joins or
+	// cache hits, and the counters must say so.
+	if snap.Cache.Hits+snap.Cache.Joined < 32 {
+		t.Fatalf("only %d hits + %d joins across %d duplicate requests",
+			snap.Cache.Hits, snap.Cache.Joined, totalRuns)
+	}
+	// 132 distinct keys at ~1 KiB each against a 32 KiB budget: the LRU
+	// must have evicted, and the resident set must respect the budget.
+	if snap.Cache.Evictions == 0 {
+		t.Fatal("soak caused no evictions — cache is not bounded")
+	}
+	if snap.Cache.Bytes > cacheBudget {
+		t.Fatalf("resident cache %d bytes exceeds budget %d", snap.Cache.Bytes, cacheBudget)
+	}
+	// Re-simulations can only come from evictions: each key simulates
+	// once plus at most once per eviction of that key.
+	distinctKeys := 4 + clients/2*runsPerSwp
+	if max := distinctKeys + int(snap.Cache.Evictions); snap.Sims.Simulated > max {
+		t.Fatalf("simulated %d > distinct %d + evictions %d",
+			snap.Sims.Simulated, distinctKeys, snap.Cache.Evictions)
+	}
+	// The only in-flight request at snapshot time is the /metrics scrape
+	// itself.
+	if snap.QueueDepth != 0 || snap.InFlightRequests != 1 {
+		t.Fatalf("work left behind: %+v", snap)
+	}
+	if ru := s.Runner().Stats(); ru.InFlight != 0 {
+		t.Fatalf("%d simulations still in flight", ru.InFlight)
+	}
+}

@@ -5,6 +5,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"os"
 
@@ -103,6 +104,13 @@ type Config struct {
 	// opt-in flight recorder of internal/flight. Nil costs one pointer
 	// check per cycle and changes no results.
 	Recorder *flight.Recorder
+	// Ctx, when non-nil, lets the caller cancel a run in progress: the
+	// driver loop polls Ctx.Done() every ctxCheckIters iterations
+	// (alongside its other per-iteration obligations — watchdog,
+	// MaxCycles, timeline sampling) and returns an error wrapping
+	// Ctx.Err(). Polling changes no simulated state, so results stay
+	// byte-identical whether or not a context is attached.
+	Ctx context.Context
 }
 
 // DefaultConfig is a single-core scaled configuration.
@@ -215,10 +223,31 @@ func Run(cfg Config, w *Workload) (*Result, error) {
 		tl = newTimeline(rec, cfg.Cores)
 	}
 
+	// Cancellation: poll the context's done channel every ctxCheckIters
+	// loop iterations. Iterations (not cycles) are the unit of wall-clock
+	// work here — idle fast-forward can jump thousands of cycles in one
+	// iteration — so this bounds cancellation latency to ~a millisecond
+	// of simulation regardless of configuration. A nil receive channel
+	// never fires, so runs without a context pay one counter increment.
+	const ctxCheckIters = 1024
+	var ctxDone <-chan struct{}
+	if cfg.Ctx != nil {
+		ctxDone = cfg.Ctx.Done()
+	}
+	var iters int64
+
 	var now int64
 	lastCommit, lastCommitCycle := uint64(0), int64(0)
 	for {
 		now++
+		if iters++; iters%ctxCheckIters == 0 && ctxDone != nil {
+			select {
+			case <-ctxDone:
+				return nil, fmt.Errorf("sim: workload %s canceled at cycle %d: %w",
+					w.Name, now, cfg.Ctx.Err())
+			default:
+			}
+		}
 		if now > maxCycles {
 			return nil, fmt.Errorf("sim: workload %s exceeded %d cycles", w.Name, maxCycles)
 		}

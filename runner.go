@@ -1,13 +1,16 @@
 package blp
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"runtime"
 	"sync"
 	"time"
+	"unsafe"
 
 	"repro/internal/core"
+	"repro/internal/memo"
 )
 
 // Runner executes simulations concurrently with memoization. Requests are
@@ -17,43 +20,64 @@ import (
 // exactly once; concurrency is bounded by a worker budget. blp.Run stays
 // unmemoized for callers that need a fresh simulation per call.
 //
+// Completed results are retained in a sharded LRU bounded by a byte
+// budget (DefaultCacheBudget unless NewRunnerCache chose otherwise), so
+// an arbitrarily long sweep no longer grows memory without limit: cold
+// configurations are evicted least-recently-used first and re-simulate
+// if requested again. Errors are never retained — a failed or canceled
+// run is retried by the next request for its key.
+//
 // Results returned for duplicate requests alias the same *Result; treat
 // them as read-only.
 type Runner struct {
-	jobs int
-	sem  chan struct{}
+	jobs  int
+	sem   chan struct{}
+	cache *memo.Cache[*Result]
 
 	mu        sync.Mutex
-	calls     map[string]*runnerCall
 	progress  io.Writer
 	simulated int // simulations actually executed
 	cached    int // requests served by an in-flight or completed duplicate
 	inFlight  int // simulations currently executing
 
-	// runFn stands in for blp.Run in tests; nil means Run.
+	// runFn stands in for blp.RunContext in tests; nil means RunContext.
 	runFn func(Options) (*Result, error)
 }
 
-// runnerCall is one singleflight cell: the first requester of a key runs
-// the simulation and closes done; every later requester waits on done and
-// shares res/err.
-type runnerCall struct {
-	done chan struct{}
-	res  *Result
-	err  error
-}
+// DefaultCacheBudget is the result-cache byte budget of NewRunner:
+// roughly 64k resident results — far beyond any figure sweep — while
+// still bounding an unattended long-running service.
+const DefaultCacheBudget int64 = 64 << 20
+
+// runnerShards spreads the result cache over this many LRU shards.
+const runnerShards = 16
 
 // NewRunner returns a Runner executing at most jobs simulations at once
-// (jobs <= 0 selects runtime.NumCPU()).
-func NewRunner(jobs int) *Runner {
+// (jobs <= 0 selects runtime.NumCPU()) with the default result-cache
+// budget.
+func NewRunner(jobs int) *Runner { return NewRunnerCache(jobs, DefaultCacheBudget) }
+
+// NewRunnerCache is NewRunner with an explicit result-cache byte budget;
+// cacheBytes <= 0 makes the cache unbounded (the pre-PR-5 behaviour).
+func NewRunnerCache(jobs int, cacheBytes int64) *Runner {
 	if jobs <= 0 {
 		jobs = runtime.NumCPU()
 	}
 	return &Runner{
 		jobs:  jobs,
 		sem:   make(chan struct{}, jobs),
-		calls: make(map[string]*runnerCall),
+		cache: memo.New[*Result](runnerShards, cacheBytes, resultCost),
 	}
+}
+
+// resultCost estimates the resident bytes a memoized result pins: the
+// key string, the Result struct, and its per-core stats slice.
+func resultCost(key string, r *Result) int64 {
+	c := int64(len(key)) + int64(unsafe.Sizeof(Result{}))
+	if r != nil {
+		c += int64(len(r.PerCore)) * int64(unsafe.Sizeof(core.Stats{}))
+	}
+	return c
 }
 
 // Jobs returns the worker budget.
@@ -86,6 +110,31 @@ func (r *Runner) Stats() RunnerStats {
 	return RunnerStats{Simulated: r.simulated, Cached: r.cached, InFlight: r.inFlight}
 }
 
+// CacheStats describes the Runner's result cache: request outcomes and
+// the resident set against its byte budget.
+type CacheStats struct {
+	// Hits were answered by a completed resident result; Joined attached
+	// to an identical in-flight simulation (singleflight); Misses
+	// simulated. Hits+Joined equals RunnerStats.Cached.
+	Hits, Joined, Misses int64
+	// Evictions counts results dropped to keep the cache under budget.
+	Evictions int64
+	// Entries/Bytes are the resident set; Budget is the byte limit
+	// (0 = unbounded).
+	Entries int
+	Bytes   int64
+	Budget  int64
+}
+
+// CacheStats returns a snapshot of the result cache.
+func (r *Runner) CacheStats() CacheStats {
+	s := r.cache.Stats()
+	return CacheStats{
+		Hits: s.Hits, Joined: s.Joined, Misses: s.Misses,
+		Evictions: s.Evictions, Entries: s.Entries, Bytes: s.Bytes, Budget: s.Budget,
+	}
+}
+
 // Run is a memoized, concurrency-bounded blp.Run: the first request for a
 // canonical Options key simulates (waiting for a worker slot); duplicates
 // block until that simulation finishes and share its result. Safe for
@@ -95,9 +144,32 @@ func (r *Runner) Stats() RunnerStats {
 // by a duplicate performs no simulation, so its recorder stays empty (a
 // notice is written to the progress writer, if set).
 func (r *Runner) Run(o Options) (*Result, error) {
-	key := o.Key()
-	r.mu.Lock()
-	if c, ok := r.calls[key]; ok {
+	return r.RunContext(context.Background(), o)
+}
+
+// RunContext is Run honoring ctx: a canceled context aborts the wait for
+// a worker slot, stops an in-progress simulation at its next cancellation
+// check (mid-run, via the sim driver's watchdog loop), and detaches a
+// duplicate request from the in-flight run it joined (which keeps running
+// for its other waiters). The error satisfies errors.Is against
+// ctx.Err(). A canceled run is never cached.
+func (r *Runner) RunContext(ctx context.Context, o Options) (*Result, error) {
+	res, _, err := r.RunCached(ctx, o)
+	return res, err
+}
+
+// RunCached is RunContext reporting additionally whether the result was
+// shared — answered by a resident cached result or by joining a
+// duplicate in-flight simulation — rather than freshly simulated.
+func (r *Runner) RunCached(ctx context.Context, o Options) (res *Result, shared bool, err error) {
+	if err := ctx.Err(); err != nil {
+		return nil, false, err
+	}
+	res, err, shared = r.cache.Do(ctx, o.Key(), func() (*Result, error) {
+		return r.execute(ctx, o)
+	})
+	if shared {
+		r.mu.Lock()
 		r.cached++
 		w := r.progress
 		r.mu.Unlock()
@@ -105,37 +177,29 @@ func (r *Runner) Run(o Options) (*Result, error) {
 			fmt.Fprintf(w, "run %-32s served from cache; its flight recorder stays empty\n",
 				describeRun(o))
 		}
-		<-c.done
-		return c.res, c.err
 	}
-	c := &runnerCall{done: make(chan struct{})}
-	r.calls[key] = c
-	r.mu.Unlock()
-
-	r.execute(o, c)
-	return c.res, c.err
+	return res, shared, err
 }
 
-// execute runs the simulation for a call cell the caller just installed in
-// r.calls. Deferred cleanup guarantees that the semaphore slot is returned
-// and c.done is closed even when the simulation panics — a panic must not
-// strand duplicate requesters on c.done forever (it used to: the paths
-// after the run were straight-line code). A panic is converted into an
-// error shared by every waiter, so the whole sweep fails loudly instead of
-// deadlocking.
-func (r *Runner) execute(o Options, c *runnerCall) {
-	r.sem <- struct{}{}
+// execute performs one simulation under the worker-slot semaphore. The
+// deferred recover converts a simulation panic into an error (returned to
+// every singleflight waiter via the cache) and guarantees the slot and
+// counters are restored, so a panicking run can neither strand duplicate
+// requesters nor leak worker capacity.
+func (r *Runner) execute(ctx context.Context, o Options) (res *Result, err error) {
+	select {
+	case r.sem <- struct{}{}:
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
 	r.mu.Lock()
 	r.inFlight++
 	r.mu.Unlock()
 
 	start := time.Now()
-	// LIFO defers: the recover-and-release runs first, so done is closed
-	// (last) only after res/err and the counters are final.
-	defer close(c.done)
 	defer func() {
 		if p := recover(); p != nil {
-			c.res, c.err = nil, fmt.Errorf("blp: simulation %s panicked: %v", describeRun(o), p)
+			res, err = nil, fmt.Errorf("blp: simulation %s panicked: %v", describeRun(o), p)
 		}
 		elapsed := time.Since(start)
 		r.mu.Lock()
@@ -152,11 +216,10 @@ func (r *Runner) execute(o Options, c *runnerCall) {
 		}
 	}()
 
-	run := r.runFn
-	if run == nil {
-		run = Run
+	if run := r.runFn; run != nil {
+		return run(o)
 	}
-	c.res, c.err = run(o)
+	return RunContext(ctx, o)
 }
 
 // RunAll executes every request concurrently (each bounded by the worker
@@ -164,6 +227,11 @@ func (r *Runner) execute(o Options, c *runnerCall) {
 // fan-out primitive the figure harness is built on. If any run fails, the
 // first error in input order is returned after all runs finish.
 func (r *Runner) RunAll(opts []Options) ([]*Result, error) {
+	return r.RunAllContext(context.Background(), opts)
+}
+
+// RunAllContext is RunAll honoring ctx (see RunContext).
+func (r *Runner) RunAllContext(ctx context.Context, opts []Options) ([]*Result, error) {
 	res := make([]*Result, len(opts))
 	errs := make([]error, len(opts))
 	var wg sync.WaitGroup
@@ -171,7 +239,7 @@ func (r *Runner) RunAll(opts []Options) ([]*Result, error) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			res[i], errs[i] = r.Run(opts[i])
+			res[i], errs[i] = r.RunContext(ctx, opts[i])
 		}(i)
 	}
 	wg.Wait()

@@ -1,0 +1,160 @@
+package blp
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+)
+
+// A long sweep of distinct configurations must not grow the Runner's
+// memory monotonically: the result cache is byte-budgeted and evicts
+// LRU-first. Before PR 5 the memoization map retained every result
+// forever. Uses the runFn seam so 500 "simulations" with deliberately
+// fat per-core stats cost no sim time.
+func TestRunnerCacheBounded(t *testing.T) {
+	const budget = 256 << 10
+	r := NewRunnerCache(2, budget)
+	r.runFn = func(o Options) (*Result, error) {
+		// ~3.5 KB per result (PerCore dominates via resultCost).
+		return &Result{Cycles: 1, PerCore: make([]core.Stats, 8)}, nil
+	}
+
+	first := Options{Benchmark: "cc", Scale: 6, Seed: 1}
+	for seed := uint64(1); seed <= 500; seed++ {
+		if _, err := r.Run(Options{Benchmark: "cc", Scale: 6, Seed: seed}); err != nil {
+			t.Fatal(err)
+		}
+		if cs := r.CacheStats(); cs.Bytes > budget {
+			t.Fatalf("resident cache %d bytes exceeds budget %d after seed %d",
+				cs.Bytes, budget, seed)
+		}
+	}
+	cs := r.CacheStats()
+	if cs.Evictions == 0 {
+		t.Fatal("500 distinct results under a 256 KiB budget caused no evictions")
+	}
+	if cs.Entries >= 500 {
+		t.Fatalf("all %d results retained: cache is unbounded", cs.Entries)
+	}
+	if cs.Budget != budget {
+		t.Fatalf("reported budget %d, want %d", cs.Budget, budget)
+	}
+
+	// The earliest key was evicted, so re-requesting it re-simulates —
+	// the flip side of boundedness.
+	before := r.Stats().Simulated
+	if _, err := r.Run(first); err != nil {
+		t.Fatal(err)
+	}
+	if after := r.Stats().Simulated; after != before+1 {
+		t.Fatalf("evicted key did not re-simulate (simulated %d -> %d)", before, after)
+	}
+}
+
+// An unbounded cache (budget <= 0) keeps the pre-PR-5 retain-everything
+// behaviour for callers that want it.
+func TestRunnerCacheUnbounded(t *testing.T) {
+	r := NewRunnerCache(2, 0)
+	r.runFn = func(o Options) (*Result, error) {
+		return &Result{Cycles: 1, PerCore: make([]core.Stats, 8)}, nil
+	}
+	for seed := uint64(1); seed <= 200; seed++ {
+		if _, err := r.Run(Options{Benchmark: "cc", Scale: 6, Seed: seed}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cs := r.CacheStats()
+	if cs.Entries != 200 || cs.Evictions != 0 {
+		t.Fatalf("unbounded cache evicted: %+v", cs)
+	}
+}
+
+// Runner.RunContext must honor cancellation mid-simulation: before PR 5 a
+// canceled caller still burned a worker slot until the sim finished. The
+// deliberately slow config (merge sort at scale 15 runs for several
+// seconds; tens of seconds under -race) must return within a couple of
+// seconds of the cancel, with an error identifying the context, and the
+// canceled result must not be cached.
+func TestRunContextCancelMidSimulation(t *testing.T) {
+	slow := Options{Benchmark: "ms", Scale: 15}
+	r := NewRunner(1)
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(100 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	_, err := r.RunContext(ctx, slow)
+	elapsed := time.Since(start)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	// Generous bound: cancellation latency is ~1k driver iterations, so
+	// even race-instrumented runs return well under this; an un-honored
+	// cancel runs the full multi-second simulation and trips it.
+	if elapsed > 3*time.Second {
+		t.Fatalf("cancel took %v — simulation ran to completion", elapsed)
+	}
+	if cs := r.CacheStats(); cs.Entries != 0 {
+		t.Fatalf("canceled run was cached: %+v", cs)
+	}
+
+	// A canceled context short-circuits before simulating anything.
+	before := r.Stats().Simulated
+	if _, err := r.RunContext(ctx, Options{Benchmark: "cc", Scale: 6}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-canceled ctx err = %v", err)
+	}
+	if r.Stats().Simulated != before {
+		t.Fatal("pre-canceled request still simulated")
+	}
+}
+
+// A duplicate request that joins an in-flight simulation detaches on its
+// own cancellation while the leader's run completes and is cached.
+func TestRunContextWaiterDetaches(t *testing.T) {
+	r := NewRunner(1)
+	release := make(chan struct{})
+	started := make(chan struct{})
+	r.runFn = func(o Options) (*Result, error) {
+		close(started)
+		<-release
+		return &Result{Cycles: 42}, nil
+	}
+	o := Options{Benchmark: "cc", Scale: 6}
+	leader := make(chan error, 1)
+	go func() {
+		_, err := r.Run(o)
+		leader <- err
+	}()
+	<-started
+	ctx, cancel := context.WithCancel(context.Background())
+	waiter := make(chan error, 1)
+	go func() {
+		_, err := r.RunContext(ctx, o)
+		waiter <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-waiter:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("waiter err = %v, want context.Canceled", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("canceled waiter stayed attached to the in-flight run")
+	}
+	close(release)
+	if err := <-leader; err != nil {
+		t.Fatalf("leader err = %v", err)
+	}
+	res, err := r.Run(o)
+	if err != nil || res.Cycles != 42 {
+		t.Fatalf("leader result not cached: %v, %v", res, err)
+	}
+	if s := r.Stats(); s.Simulated != 1 {
+		t.Fatalf("simulated %d, want 1 (waiter must not re-run)", s.Simulated)
+	}
+}
