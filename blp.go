@@ -25,6 +25,7 @@ import (
 	"repro/internal/flight"
 	"repro/internal/kernels"
 	"repro/internal/sim"
+	"repro/internal/trace"
 )
 
 // FlightRecorder is the opt-in observability recorder of internal/flight:
@@ -241,8 +242,12 @@ func Run(o Options) (*Result, error) {
 // CPU back mid-simulation instead of waiting for the run to finish. The
 // returned error wraps ctx.Err().
 func RunContext(ctx context.Context, o Options) (*Result, error) {
-	n := o.normalized()
-	spec := kernels.Spec{
+	return runContext(ctx, o, nil)
+}
+
+// buildSpec maps (normalized) options to the kernels build request.
+func buildSpec(n Options) kernels.Spec {
+	return kernels.Spec{
 		Kernel:  n.Benchmark,
 		Scale:   n.Scale,
 		Degree:  n.Degree,
@@ -251,11 +256,21 @@ func RunContext(ctx context.Context, o Options) (*Result, error) {
 		PRIters: n.PRIters, // kernels shares the negative-sentinel convention
 		Threads: n.Cores * n.SMT,
 	}
+}
+
+// runContext is RunContext with an optional captured trace: when tr is
+// non-nil the timing model's frontend replays it instead of stepping the
+// functional emulator (the workload build still runs — the timing model
+// needs the program and memory image — but the per-instruction
+// emulation does not). Results are byte-identical either way; the
+// Runner is the caller that supplies traces.
+func runContext(ctx context.Context, o Options, tr *trace.Trace) (*Result, error) {
+	n := o.normalized()
 
 	if err := ctx.Err(); err != nil {
 		return nil, fmt.Errorf("blp: %s (%v) canceled before build: %w", o.Benchmark, o.Mode, err)
 	}
-	w, err := kernels.Build(spec)
+	w, err := kernels.Build(buildSpec(n))
 	if err != nil {
 		return nil, err
 	}
@@ -282,6 +297,7 @@ func RunContext(ctx context.Context, o Options) (*Result, error) {
 	cfg.WatchdogCycles = n.WatchdogCycles
 	cfg.Recorder = n.Flight
 	cfg.Ctx = ctx
+	cfg.Replay = tr
 
 	r, err := sim.Run(cfg, w)
 	if err != nil {

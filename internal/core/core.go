@@ -66,11 +66,22 @@ type Core struct {
 
 // NewCore builds a core running the given machines (one per SMT thread).
 func NewCore(id int, cfg Config, hier *cache.Hierarchy, machines []*emu.Machine) (*Core, error) {
+	fes := make([]emu.Frontend, len(machines))
+	for i, m := range machines {
+		fes[i] = emu.AsFrontend(m)
+	}
+	return NewCoreFrontends(id, cfg, hier, fes)
+}
+
+// NewCoreFrontends is NewCore over explicit instruction sources (one per
+// SMT thread): live emulator machines wrapped by emu.AsFrontend, or trace
+// replayers feeding a captured stream (internal/trace).
+func NewCoreFrontends(id int, cfg Config, hier *cache.Hierarchy, fes []emu.Frontend) (*Core, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	if len(machines) != cfg.SMT {
-		return nil, fmt.Errorf("core: %d machines for SMT%d", len(machines), cfg.SMT)
+	if len(fes) != cfg.SMT {
+		return nil, fmt.Errorf("core: %d frontends for SMT%d", len(fes), cfg.SMT)
 	}
 	c := &Core{
 		cfg:      cfg,
@@ -81,8 +92,8 @@ func NewCore(id int, cfg Config, hier *cache.Hierarchy, machines []*emu.Machine)
 		traceOn:  cfg.Trace != nil,
 		forceCyc: cfg.ForceCycleAccurate,
 	}
-	for i, m := range machines {
-		c.threads = append(c.threads, newThread(i, c, m))
+	for i, fe := range fes {
+		c.threads = append(c.threads, newThread(i, c, fe))
 	}
 	return c, nil
 }

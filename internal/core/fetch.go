@@ -222,11 +222,11 @@ func (c *Core) fetchNormal(t *thread) bool {
 		u.miss = mi
 		t.pendingMisses++
 		t.unresolved = append(t.unresolved, mi)
-		t.shadow = t.m.Shadow(wrongPC, true, d.SliceID)
+		t.shadow = t.m.Fork(wrongPC, true, d.SliceID)
 		t.shadowMiss = mi
 		t.mode = fmWrong
 	} else {
-		t.shadow = t.m.Shadow(wrongPC, d.InSlice, d.SliceID)
+		t.shadow = t.m.Fork(wrongPC, d.InSlice, d.SliceID)
 		t.shadowMiss = nil
 		t.convMiss = u
 		t.mode = fmWrong
@@ -236,18 +236,10 @@ func (c *Core) fetchNormal(t *thread) bool {
 }
 
 // fetchWrong fetches one wrong-path instruction from the shadow engine.
+// The direction callback is t.wrongDir, built once per thread (see the
+// field comment for the escape-analysis rationale).
 func (c *Core) fetchWrong(t *thread) bool {
-	dir := func(pc int, in isa.Inst, actual bool) bool {
-		// Wrong-path branches follow the shadow's own outcomes: the
-		// fork inherits real register values, so near-reconvergence
-		// wrong paths (the common case for slice bodies) terminate
-		// where the real wrong path would. The predictor still sees
-		// the fetched direction in its speculative history but is
-		// never trained on wrong-path branches (see DESIGN.md).
-		t.pred.OnFetch(actual)
-		return actual
-	}
-	d, ok := t.shadow.Step(dir)
+	d, ok := t.shadow.Step(t.wrongDir)
 	if !ok {
 		// The wrong path ran off the program. A conventional miss
 		// keeps fetch stalled until resolution; an in-slice miss that

@@ -4,6 +4,7 @@ import (
 	"repro/internal/bpred"
 	"repro/internal/emu"
 	"repro/internal/frq"
+	"repro/internal/isa"
 	"repro/internal/rename"
 	"repro/internal/rob"
 )
@@ -23,7 +24,7 @@ type thread struct {
 	id int
 	c  *Core
 
-	m    *emu.Machine
+	m    emu.Frontend
 	pred bpred.Predictor
 	btb  *bpred.BTB
 
@@ -41,10 +42,15 @@ type thread struct {
 
 	// Fetch source state.
 	mode       fetchMode
-	shadow     *emu.Shadow
+	shadow     emu.WrongPath
 	shadowMiss *missInfo // in-slice miss whose wrong path is being fetched
 	convMiss   *uop      // pending conventional miss: fetch stalls on its shadow
 	wpStuck    bool      // shadow died before reaching its slice_end
+	// wrongDir is the shadow's branch-direction callback, built once:
+	// rebuilding the closure per fetchWrong call would heap-allocate per
+	// wrong-path instruction now that Step is an interface call (escape
+	// analysis cannot see through emu.WrongPath).
+	wrongDir emu.BranchDir
 
 	// Resolve-path fetch: the program-order-oldest pending FRQ entry.
 	// The paper's FIFO discipline assumes detection order matches the
@@ -77,8 +83,8 @@ type thread struct {
 	stores []*uop // in-flight correct-path stores, program order
 }
 
-func newThread(id int, c *Core, m *emu.Machine) *thread {
-	return &thread{
+func newThread(id int, c *Core, m emu.Frontend) *thread {
+	t := &thread{
 		id:        id,
 		c:         c,
 		m:         m,
@@ -87,6 +93,17 @@ func newThread(id int, c *Core, m *emu.Machine) *thread {
 		fq:        frq.New[*missInfo](c.cfg.FRQSize),
 		lastILine: -1,
 	}
+	t.wrongDir = func(pc int, in isa.Inst, actual bool) bool {
+		// Wrong-path branches follow the shadow's own outcomes: the
+		// fork inherits real register values, so near-reconvergence
+		// wrong paths (the common case for slice bodies) terminate
+		// where the real wrong path would. The predictor still sees
+		// the fetched direction in its speculative history but is
+		// never trained on wrong-path branches (see DESIGN.md).
+		t.pred.OnFetch(actual)
+		return actual
+	}
+	return t
 }
 
 // finishedFetching reports whether the thread will produce no more
@@ -111,10 +128,10 @@ func (t *thread) nextFetchPC() int {
 		}
 		return t.shadow.NextPC()
 	}
-	if t.fenceStall || t.barrierWait || t.haltSeen || t.m.Halted {
+	if t.fenceStall || t.barrierWait || t.haltSeen || t.m.Halted() {
 		return -1
 	}
-	return t.m.PC
+	return t.m.NextPC()
 }
 
 // startNextResolve points resolve fetch at the program-order-oldest

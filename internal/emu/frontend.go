@@ -1,0 +1,60 @@
+package emu
+
+// Frontend is the correct-path instruction source a core's thread fetches
+// from: the architectural stream in program order plus the two extra
+// operations the selective-flush model needs (running ahead to a slice
+// boundary, and forking a wrong-path engine from the current state).
+//
+// Two implementations exist: the live functional emulator (*Machine, via
+// AsFrontend) and the trace replayer (internal/trace.Replay), which feeds
+// the identical stream from a captured trace without re-executing the
+// emulator. The timing model is written against this interface only, so
+// the two are interchangeable and results are byte-identical.
+type Frontend interface {
+	// Step produces the next correct-path dynamic instruction.
+	Step() (DynInst, error)
+	// RunToSliceEnd advances through the current slice's remaining
+	// instructions (inclusive of its slice_end), appending them to buf.
+	RunToSliceEnd(buf []DynInst) ([]DynInst, error)
+	// Fork starts a wrong-path engine at startPC from the current
+	// architectural register state; inSlice/sliceID seed its slice
+	// context (that of the mispredicted branch).
+	Fork(startPC int, inSlice bool, sliceID uint64) WrongPath
+	// Halted reports whether the stream has ended (Halt executed).
+	Halted() bool
+	// NextPC is the code index of the next instruction Step would
+	// produce.
+	NextPC() int
+}
+
+// WrongPath is the wrong-path engine behind a Frontend fork: it executes
+// down a mispredicted direction with buffered stores (see Shadow, its
+// canonical implementation).
+type WrongPath interface {
+	Step(dir BranchDir) (DynInst, bool)
+	Dead() bool
+	NextPC() int
+	InSlice() bool
+}
+
+// machineFrontend adapts *Machine to Frontend. Machine exposes Halted and
+// PC as fields (the emulator's tests and tools poke them directly), so the
+// method set lives on this wrapper instead.
+type machineFrontend struct{ m *Machine }
+
+// AsFrontend wraps a live machine as a core frontend.
+func AsFrontend(m *Machine) Frontend { return machineFrontend{m} }
+
+func (f machineFrontend) Step() (DynInst, error) { return f.m.Step() }
+
+func (f machineFrontend) RunToSliceEnd(buf []DynInst) ([]DynInst, error) {
+	return f.m.RunToSliceEnd(buf)
+}
+
+func (f machineFrontend) Fork(startPC int, inSlice bool, sliceID uint64) WrongPath {
+	return f.m.Shadow(startPC, inSlice, sliceID)
+}
+
+func (f machineFrontend) Halted() bool { return f.m.Halted }
+
+func (f machineFrontend) NextPC() int { return f.m.PC }

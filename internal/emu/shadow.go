@@ -36,16 +36,24 @@ type Shadow struct {
 // begins fetching at startPC. inSlice/sliceID seed the slice context the
 // wrong path starts in (the context of the mispredicted branch).
 func (m *Machine) Shadow(startPC int, inSlice bool, sliceID uint64) *Shadow {
-	s := &Shadow{
-		prog:    m.Prog,
-		mem:     m.Mem,
-		regs:    m.Regs,
+	return NewShadow(m.Prog, m.Mem, m.Regs, startPC, inSlice, sliceID)
+}
+
+// NewShadow builds a wrong-path engine from an explicit architectural
+// snapshot (program, memory view, register file). It is the fork entry
+// point for frontends that maintain architectural state outside a Machine,
+// such as the trace replayer.
+func NewShadow(prog *isa.Program, mem []byte, regs [isa.NumRegs]uint64,
+	startPC int, inSlice bool, sliceID uint64) *Shadow {
+	return &Shadow{
+		prog:    prog,
+		mem:     mem,
+		regs:    regs,
 		pc:      startPC,
 		overlay: make(map[uint64]byte),
 		inSlice: inSlice,
 		sliceID: sliceID,
 	}
-	return s
 }
 
 // Dead reports whether the shadow can no longer produce instructions.

@@ -2,12 +2,14 @@ package fuzz
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"reflect"
 
 	"repro/internal/emu"
 	"repro/internal/isa"
 	"repro/internal/sim"
+	"repro/internal/trace"
 )
 
 // refBudget bounds the reference run; generated programs execute a few
@@ -94,13 +96,16 @@ func runSim(c *Case, selective, cycleAccurate bool) (res *sim.Result, mem []byte
 //	sel       core sim, selective flush, event-driven stepping
 //	ca        core sim, selective flush, forced cycle-accurate stepping
 //	conv      core sim, conventional full flush
+//	replay    core sim, selective flush, frontend fed from a captured
+//	          trace (single-threaded cases only — replay's domain)
 //
 // Oracles: every sim variant must finish (no watchdog hang, no panic, and
 // — via the always-on quiescence check inside sim.Run — no leaked ROB/RS/
 // LQ/SQ/FRQ entries and an exactly-balanced uop conservation law); every
 // variant's final memory must equal the reference image; every variant
-// must commit exactly the expected instruction count; and the event-driven
-// and cycle-accurate selective runs must produce byte-identical results.
+// must commit exactly the expected instruction count; the event-driven
+// and cycle-accurate selective runs must produce byte-identical results;
+// and the replayed run must be byte-identical to the live selective run.
 func RunCase(c *Case) *Violation {
 	refMem, wantCommits, err := runRef(c)
 	if err != nil {
@@ -143,7 +148,57 @@ func RunCase(c *Case) *Violation {
 			"%s: event-driven and cycle-accurate selective runs diverge: %s",
 			c.Name, diffResults(results["sel"], results["ca"]))
 	}
+
+	// PR6's guarantee: a trace-replayed run is indistinguishable from a
+	// live-emulated one. Single-threaded cases only (replay's domain).
+	if len(c.Progs) == 1 {
+		capMem := append([]byte(nil), c.Mem...)
+		tr, err := trace.Capture(context.Background(), c.Progs[0], capMem)
+		if err != nil {
+			return violationf("capture-fault", "%s: %v", c.Name, err)
+		}
+		if !bytes.Equal(capMem, refMem) {
+			i := firstDiff(capMem, refMem)
+			return violationf("mem-capture",
+				"%s: capture's final memory diverges from reference at byte %#x (got %#x want %#x)",
+				c.Name, i, capMem[i], refMem[i])
+		}
+		res, mem, err := runReplay(c, tr)
+		if err != nil {
+			return violationf("replay-run", "%s: %v", c.Name, err)
+		}
+		if !bytes.Equal(mem, refMem) {
+			i := firstDiff(mem, refMem)
+			return violationf("mem-replay",
+				"%s: replayed final memory diverges from reference at byte %#x (got %#x want %#x)",
+				c.Name, i, mem[i], refMem[i])
+		}
+		if !reflect.DeepEqual(*res, *results["sel"]) {
+			return violationf("replay-equiv",
+				"%s: replayed and live selective runs diverge: %s",
+				c.Name, diffResults(res, results["sel"]))
+		}
+	}
 	return nil
+}
+
+// runReplay is runSim for the trace-fed variant: selective flush,
+// event-driven stepping, frontend replaying tr. The independence checker
+// must be off — it observes the live emulator, which a replayed run does
+// not have (and checking happened in runRef and the live legs anyway).
+func runReplay(c *Case, tr *trace.Trace) (res *sim.Result, mem []byte, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			res, err = nil, fmt.Errorf("panic: %v", r)
+		}
+	}()
+	mem = append([]byte(nil), c.Mem...)
+	w := &sim.Workload{Name: c.Name, Progs: c.Progs, Mem: mem}
+	cfg := c.Cfg.simConfig(true, false)
+	cfg.CheckIndependence = false
+	cfg.Replay = tr
+	res, err = sim.Run(cfg, w)
+	return res, mem, err
 }
 
 func firstDiff(a, b []byte) int {

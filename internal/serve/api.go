@@ -10,7 +10,10 @@ import (
 // SchemaVersion identifies the JSON layout of the serve API's own
 // responses (RunResponse, SweepItem, MetricsSnapshot). Figure endpoints
 // reuse blp.Report, which carries blp.MetricsSchemaVersion.
-const SchemaVersion = 1
+//
+// v2: MetricsSnapshot gained trace_cache and sims.captured/replayed
+// (the trace-once/simulate-many counters).
+const SchemaVersion = 2
 
 // Zero is the wire spelling of blp.Zero: integer options whose zero
 // value means "default" accept -1 to request an explicit 0.

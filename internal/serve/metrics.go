@@ -83,11 +83,15 @@ type CacheMetrics struct {
 	Budget    int64 `json:"budget"`
 }
 
-// SimMetrics mirrors blp.RunnerStats on the wire.
+// SimMetrics mirrors blp.RunnerStats on the wire. Captured/Replayed
+// expose the trace-once/simulate-many accounting: the functional
+// emulator ran simulated - replayed + captured times.
 type SimMetrics struct {
 	Simulated int `json:"simulated"`
 	Cached    int `json:"cached"`
 	InFlight  int `json:"in_flight"`
+	Captured  int `json:"captured"`
+	Replayed  int `json:"replayed"`
 }
 
 // LatencyMetrics summarizes the recent-request latency window.
@@ -117,6 +121,7 @@ type MetricsSnapshot struct {
 	QueueCapacity    int64            `json:"queue_capacity"`
 	Sims             SimMetrics       `json:"sims"`
 	Cache            CacheMetrics     `json:"cache"`
+	TraceCache       CacheMetrics     `json:"trace_cache"`
 	Latency          LatencyMetrics   `json:"latency"`
 }
 
@@ -141,11 +146,19 @@ func (m *serverMetrics) snapshot(runner *blp.Runner, q *queue, draining bool) Me
 	m.mu.Unlock()
 
 	rs := runner.Stats()
-	snap.Sims = SimMetrics{Simulated: rs.Simulated, Cached: rs.Cached, InFlight: rs.InFlight}
+	snap.Sims = SimMetrics{
+		Simulated: rs.Simulated, Cached: rs.Cached, InFlight: rs.InFlight,
+		Captured: rs.Captured, Replayed: rs.Replayed,
+	}
 	cs := runner.CacheStats()
 	snap.Cache = CacheMetrics{
 		Hits: cs.Hits, Joined: cs.Joined, Misses: cs.Misses,
 		Evictions: cs.Evictions, Entries: cs.Entries, Bytes: cs.Bytes, Budget: cs.Budget,
+	}
+	snap.TraceCache = CacheMetrics{
+		Hits: cs.Trace.Hits, Joined: cs.Trace.Joined, Misses: cs.Trace.Misses,
+		Evictions: cs.Trace.Evictions, Entries: cs.Trace.Entries,
+		Bytes: cs.Trace.Bytes, Budget: cs.Trace.Budget,
 	}
 	if q != nil {
 		snap.QueueDepth = q.depth()

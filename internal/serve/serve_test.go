@@ -97,6 +97,29 @@ func TestRunEndpoint(t *testing.T) {
 	if snap.Sims.Simulated != 1 {
 		t.Fatalf("simulated %d, want 1", snap.Sims.Simulated)
 	}
+	// A one-shot workload must not pay for a trace capture.
+	if snap.Sims.Captured != 0 || snap.Sims.Replayed != 0 {
+		t.Fatalf("one-shot run used the trace path: captured=%d replayed=%d",
+			snap.Sims.Captured, snap.Sims.Replayed)
+	}
+
+	// A second timing configuration of the same workload is the Runner's
+	// cue to capture the trace and replay it; the accounting must be
+	// visible on the wire.
+	resp = postJSON(t, ts.URL+"/v1/run", `{"benchmark":"cc","scale":6,"predictor":"oracle"}`)
+	var rr3 RunResponse
+	decodeInto(t, resp, &rr3)
+	if rr3.Cached {
+		t.Fatal("distinct timing configuration reported cached")
+	}
+	snap = getMetrics(t, ts.URL)
+	if snap.Sims.Captured != 1 || snap.Sims.Replayed != 1 {
+		t.Fatalf("trace accounting: captured=%d replayed=%d, want 1/1",
+			snap.Sims.Captured, snap.Sims.Replayed)
+	}
+	if snap.TraceCache.Entries != 1 || snap.TraceCache.Bytes <= 0 {
+		t.Fatalf("trace cache not visible in metrics: %+v", snap.TraceCache)
+	}
 }
 
 func TestRunValidation(t *testing.T) {

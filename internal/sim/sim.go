@@ -14,6 +14,7 @@ import (
 	"repro/internal/emu"
 	"repro/internal/flight"
 	"repro/internal/isa"
+	"repro/internal/trace"
 	"repro/internal/uncore"
 )
 
@@ -111,6 +112,17 @@ type Config struct {
 	// Ctx.Err(). Polling changes no simulated state, so results stay
 	// byte-identical whether or not a context is attached.
 	Ctx context.Context
+	// Replay, when non-nil, feeds the core's frontend from a captured
+	// instruction trace (internal/trace) instead of stepping the
+	// functional emulator — the capture-once/simulate-many decoupling of
+	// the paper's Pin + Sniper split. Results are byte-identical to a
+	// live run of the same workload. Replay is restricted to
+	// single-hardware-thread configurations (a multicore emu-step
+	// interleaving is timing-dependent through shared-memory atomics, so
+	// a per-thread trace would not be config-invariant) and is
+	// incompatible with CheckIndependence (the checker lives in the live
+	// emulator).
+	Replay *trace.Trace
 }
 
 // DefaultConfig is a single-core scaled configuration.
@@ -190,22 +202,41 @@ func Run(cfg Config, w *Workload) (*Result, error) {
 			NextLinePrefetch: cfg.Mem.NextLinePrefetch},
 	}
 
-	// All machines share the workload's memory image.
+	if cfg.Replay != nil {
+		if threadsTotal != 1 {
+			return nil, fmt.Errorf("sim: workload %s: trace replay supports exactly one hardware thread, got %d",
+				w.Name, threadsTotal)
+		}
+		if cfg.CheckIndependence {
+			return nil, fmt.Errorf("sim: workload %s: trace replay is incompatible with CheckIndependence",
+				w.Name)
+		}
+	}
+
+	// All frontends share the workload's memory image.
 	mem := w.Mem
 	cfg.Core.Recorder = cfg.Recorder
 	cores := make([]*core.Core, cfg.Cores)
 	hiers := make([]*cache.Hierarchy, cfg.Cores)
 	ti := 0
 	for i := range cores {
-		machines := make([]*emu.Machine, cfg.Core.SMT)
-		for j := range machines {
-			m := emu.New(w.Progs[ti], mem)
-			m.CheckIndependence = cfg.CheckIndependence
-			machines[j] = m
+		fes := make([]emu.Frontend, cfg.Core.SMT)
+		for j := range fes {
+			if cfg.Replay != nil {
+				r, err := trace.NewReplay(cfg.Replay, w.Progs[ti], mem)
+				if err != nil {
+					return nil, fmt.Errorf("sim: workload %s: %w", w.Name, err)
+				}
+				fes[j] = r
+			} else {
+				m := emu.New(w.Progs[ti], mem)
+				m.CheckIndependence = cfg.CheckIndependence
+				fes[j] = emu.AsFrontend(m)
+			}
 			ti++
 		}
 		hiers[i] = cache.NewHierarchy(hc, llc, dram)
-		c, err := core.NewCore(i, cfg.Core, hiers[i], machines)
+		c, err := core.NewCoreFrontends(i, cfg.Core, hiers[i], fes)
 		if err != nil {
 			return nil, err
 		}
@@ -331,6 +362,22 @@ func Run(cfg Config, w *Workload) (*Result, error) {
 				target = maxCycles
 			}
 			if target > now {
+				// Cancellation check before committing the jump: a single
+				// fast-forward can cover an arbitrarily long idle window
+				// (a slow-memory stall runs to tens of millions of
+				// cycles), and a run with few active cycles may finish
+				// before the iteration counter ever reaches its polling
+				// interval — so a canceled caller must not be carried
+				// across the window by the counter-based poll alone.
+				// Like that poll, this changes no simulated state.
+				if ctxDone != nil && target-now >= ctxCheckIters {
+					select {
+					case <-ctxDone:
+						return nil, fmt.Errorf("sim: workload %s canceled at cycle %d: %w",
+							w.Name, now, cfg.Ctx.Err())
+					default:
+					}
+				}
 				for _, c := range cores {
 					if !c.Done() {
 						c.SkipTo(target)

@@ -2,15 +2,17 @@ package blp
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"io"
 	"runtime"
 	"sync"
 	"time"
-	"unsafe"
 
 	"repro/internal/core"
 	"repro/internal/memo"
+	"repro/internal/memsize"
+	"repro/internal/trace"
 )
 
 // Runner executes simulations concurrently with memoization. Requests are
@@ -33,15 +35,30 @@ type Runner struct {
 	jobs  int
 	sem   chan struct{}
 	cache *memo.Cache[*Result]
+	// traces memoizes captured instruction traces by Options.TraceKey —
+	// the workload-identity sub-key of Options.Key, with every timing
+	// knob excluded — so a sweep varying only timing configuration runs
+	// the functional emulator once per workload and replays the captured
+	// stream for every configuration.
+	traces *memo.Cache[*trace.Trace]
 
 	mu        sync.Mutex
 	progress  io.Writer
 	simulated int // simulations actually executed
 	cached    int // requests served by an in-flight or completed duplicate
 	inFlight  int // simulations currently executing
+	captured  int // functional emulator executions that captured a trace
+	replayed  int // simulations fed from a captured trace
+
+	// Capture policy state (see wantCapture): traceHint counts live
+	// RunAllContext batches that contain two or more distinct
+	// configurations of the TraceKey, traceSeen records TraceKeys met
+	// exactly once on the single-run path.
+	traceHint map[string]int
+	traceSeen map[string]bool
 
 	// runFn stands in for blp.RunContext in tests; nil means RunContext.
-	runFn func(Options) (*Result, error)
+	runFn func(context.Context, Options) (*Result, error)
 }
 
 // DefaultCacheBudget is the result-cache byte budget of NewRunner:
@@ -49,8 +66,19 @@ type Runner struct {
 // still bounding an unattended long-running service.
 const DefaultCacheBudget int64 = 64 << 20
 
+// DefaultTraceCacheBudget bounds the captured-trace cache. Traces are
+// orders of magnitude larger than results (roughly 10 bytes per
+// committed instruction), so they get their own budget rather than
+// competing with results for the same bytes; at the default benchmark
+// scales one trace runs a few dozen megabytes.
+const DefaultTraceCacheBudget int64 = 256 << 20
+
 // runnerShards spreads the result cache over this many LRU shards.
 const runnerShards = 16
+
+// traceShards spreads the trace cache; few, because entries are few and
+// large (a per-workload, not per-config, population).
+const traceShards = 4
 
 // NewRunner returns a Runner executing at most jobs simulations at once
 // (jobs <= 0 selects runtime.NumCPU()) with the default result-cache
@@ -59,25 +87,35 @@ func NewRunner(jobs int) *Runner { return NewRunnerCache(jobs, DefaultCacheBudge
 
 // NewRunnerCache is NewRunner with an explicit result-cache byte budget;
 // cacheBytes <= 0 makes the cache unbounded (the pre-PR-5 behaviour).
+// The trace cache keeps its default budget either way.
 func NewRunnerCache(jobs int, cacheBytes int64) *Runner {
 	if jobs <= 0 {
 		jobs = runtime.NumCPU()
 	}
 	return &Runner{
-		jobs:  jobs,
-		sem:   make(chan struct{}, jobs),
-		cache: memo.New[*Result](runnerShards, cacheBytes, resultCost),
+		jobs:      jobs,
+		sem:       make(chan struct{}, jobs),
+		cache:     memo.New[*Result](runnerShards, cacheBytes, resultCost),
+		traces:    memo.New[*trace.Trace](traceShards, DefaultTraceCacheBudget, traceCost),
+		traceHint: make(map[string]int),
+		traceSeen: make(map[string]bool),
 	}
 }
 
 // resultCost estimates the resident bytes a memoized result pins: the
-// key string, the Result struct, and its per-core stats slice.
+// key string plus everything reachable from the Result — per-core stats
+// and any heap payload nested inside them. The previous shallow
+// estimate (struct size plus the PerCore slice header math) undercounted
+// as soon as Stats grew reference fields, which let the "bounded" cache
+// exceed its budget unnoticed; memsize walks the real footprint.
 func resultCost(key string, r *Result) int64 {
-	c := int64(len(key)) + int64(unsafe.Sizeof(Result{}))
-	if r != nil {
-		c += int64(len(r.PerCore)) * int64(unsafe.Sizeof(core.Stats{}))
-	}
-	return c
+	return int64(len(key)) + memsize.Of(r)
+}
+
+// traceCost is resultCost for captured traces, dominated by the record
+// streams' backing arrays.
+func traceCost(key string, t *trace.Trace) int64 {
+	return int64(len(key)) + memsize.Of(t)
 }
 
 // Jobs returns the worker budget.
@@ -101,13 +139,23 @@ type RunnerStats struct {
 	Cached int
 	// InFlight is the number of simulations executing right now.
 	InFlight int
+	// Captured counts functional-emulator executions performed to
+	// capture a trace; Replayed counts simulations fed from a captured
+	// trace instead of the live emulator. The emulator therefore ran
+	// Simulated - Replayed + Captured times; a timing sweep over one
+	// workload drives Replayed toward Simulated with Captured stuck at 1.
+	Captured int
+	Replayed int
 }
 
 // Stats returns the Runner's current counters.
 func (r *Runner) Stats() RunnerStats {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	return RunnerStats{Simulated: r.simulated, Cached: r.cached, InFlight: r.inFlight}
+	return RunnerStats{
+		Simulated: r.simulated, Cached: r.cached, InFlight: r.inFlight,
+		Captured: r.captured, Replayed: r.replayed,
+	}
 }
 
 // CacheStats describes the Runner's result cache: request outcomes and
@@ -124,14 +172,34 @@ type CacheStats struct {
 	Entries int
 	Bytes   int64
 	Budget  int64
+
+	// Trace describes the captured-trace cache, keyed by
+	// Options.TraceKey: a Hit or Joined means a simulation reused a
+	// workload's trace instead of re-running the functional emulator.
+	Trace TraceCacheStats
 }
 
-// CacheStats returns a snapshot of the result cache.
+// TraceCacheStats describes the Runner's trace cache (see
+// CacheStats.Trace).
+type TraceCacheStats struct {
+	Hits, Joined, Misses int64
+	Evictions            int64
+	Entries              int
+	Bytes                int64
+	Budget               int64
+}
+
+// CacheStats returns a snapshot of the result and trace caches.
 func (r *Runner) CacheStats() CacheStats {
 	s := r.cache.Stats()
+	t := r.traces.Stats()
 	return CacheStats{
 		Hits: s.Hits, Joined: s.Joined, Misses: s.Misses,
 		Evictions: s.Evictions, Entries: s.Entries, Bytes: s.Bytes, Budget: s.Budget,
+		Trace: TraceCacheStats{
+			Hits: t.Hits, Joined: t.Joined, Misses: t.Misses,
+			Evictions: t.Evictions, Entries: t.Entries, Bytes: t.Bytes, Budget: t.Budget,
+		},
 	}
 }
 
@@ -217,9 +285,112 @@ func (r *Runner) execute(ctx context.Context, o Options) (res *Result, err error
 	}()
 
 	if run := r.runFn; run != nil {
-		return run(o)
+		return run(ctx, o)
 	}
-	return RunContext(ctx, o)
+
+	// Trace-once/simulate-many: for replay-eligible configurations,
+	// fetch (or capture, once per workload identity) the committed
+	// instruction trace and feed the timing model from it. Ineligible
+	// configurations — multithreaded, or with the independence checker
+	// on — run the live emulator as before, and so does a workload with
+	// no reuse in prospect (see wantCapture): the separate capture pass
+	// plus trace residency only pays for itself when at least a second
+	// timing configuration replays the stream. Results are byte-identical
+	// either way.
+	n := o.normalized()
+	if !replayEligible(n) {
+		return runContext(ctx, o, nil)
+	}
+	tk := n.TraceKey()
+	if _, ok := r.traces.Get(tk); !ok && !r.wantCapture(tk) {
+		return runContext(ctx, o, nil)
+	}
+	tr, terr, _ := r.traces.Do(ctx, tk, func() (*trace.Trace, error) {
+		t, err := captureTrace(ctx, n)
+		if err == nil {
+			r.mu.Lock()
+			r.captured++
+			r.mu.Unlock()
+		}
+		return t, err
+	})
+	if terr != nil {
+		return nil, terr
+	}
+	r.mu.Lock()
+	r.replayed++
+	r.mu.Unlock()
+	return runContext(ctx, o, tr)
+}
+
+// traceSeenCap bounds the first-sighting set; past it the history is
+// simply forgotten (the policy is a heuristic — the worst case is one
+// extra live run before a workload starts capturing again).
+const traceSeenCap = 4096
+
+// wantCapture decides whether a replay-eligible run whose trace is not
+// resident should capture one, or stay on the live emulator. Capturing
+// is a bet: it costs a separate functional pass plus trace residency,
+// and pays only when further timing configurations of the same workload
+// replay the stream. So capture when a live RunAllContext batch has
+// promised reuse (traceHint), or on the second sighting of a TraceKey
+// on the single-run path — a caller sweeping configurations one
+// RunContext at a time pays one live run, then converges to replays.
+// One-shot workloads (every point of a figure axis that varies the
+// input) never capture and never displace hot traces from the cache.
+func (r *Runner) wantCapture(tk string) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.traceHint[tk] > 0 || r.traceSeen[tk] {
+		return true
+	}
+	if len(r.traceSeen) >= traceSeenCap {
+		r.traceSeen = make(map[string]bool)
+	}
+	r.traceSeen[tk] = true
+	return false
+}
+
+// hintTraces registers the reuse a batch makes certain: every TraceKey
+// shared by two or more distinct configurations in opts is marked for
+// capture while the batch runs. Duplicate Options (same canonical Key)
+// coalesce onto one simulation in the result cache, so they are counted
+// once. The returned keys must be released with unhintTraces.
+func (r *Runner) hintTraces(opts []Options) []string {
+	byKey := make(map[string]bool)
+	count := make(map[string]int)
+	for _, o := range opts {
+		n := o.normalized()
+		if !replayEligible(n) {
+			continue
+		}
+		if k := o.Key(); byKey[k] {
+			continue
+		} else {
+			byKey[k] = true
+		}
+		count[n.TraceKey()]++
+	}
+	var keys []string
+	r.mu.Lock()
+	for tk, c := range count {
+		if c >= 2 {
+			r.traceHint[tk]++
+			keys = append(keys, tk)
+		}
+	}
+	r.mu.Unlock()
+	return keys
+}
+
+func (r *Runner) unhintTraces(keys []string) {
+	r.mu.Lock()
+	for _, tk := range keys {
+		if r.traceHint[tk]--; r.traceHint[tk] <= 0 {
+			delete(r.traceHint, tk)
+		}
+	}
+	r.mu.Unlock()
 }
 
 // RunAll executes every request concurrently (each bounded by the worker
@@ -230,8 +401,17 @@ func (r *Runner) RunAll(opts []Options) ([]*Result, error) {
 	return r.RunAllContext(context.Background(), opts)
 }
 
-// RunAllContext is RunAll honoring ctx (see RunContext).
+// RunAllContext is RunAll honoring ctx (see RunContext), and fails
+// fast: the first run to error cancels its siblings through a derived
+// context, so a fan-out poisoned by one bad configuration does not keep
+// burning worker slots on runs whose results will be discarded. The
+// returned error is the first in input order that is not a cancellation
+// induced by the failure itself.
 func (r *Runner) RunAllContext(ctx context.Context, opts []Options) ([]*Result, error) {
+	hinted := r.hintTraces(opts)
+	defer r.unhintTraces(hinted)
+	cctx, cancel := context.WithCancel(ctx)
+	defer cancel()
 	res := make([]*Result, len(opts))
 	errs := make([]error, len(opts))
 	var wg sync.WaitGroup
@@ -239,14 +419,32 @@ func (r *Runner) RunAllContext(ctx context.Context, opts []Options) ([]*Result, 
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			res[i], errs[i] = r.RunContext(ctx, opts[i])
+			res[i], errs[i] = r.RunContext(cctx, opts[i])
+			if errs[i] != nil {
+				cancel()
+			}
 		}(i)
 	}
 	wg.Wait()
+	var induced error
 	for _, err := range errs {
-		if err != nil {
-			return nil, err
+		if err == nil {
+			continue
 		}
+		// With the caller's own context live, a cancellation can only be
+		// collateral from the cancel() above; report the causing error
+		// instead. If the caller's context is done, cancellations are
+		// genuine and the first one is as good as any.
+		if ctx.Err() == nil && errors.Is(err, context.Canceled) {
+			if induced == nil {
+				induced = err
+			}
+			continue
+		}
+		return nil, err
+	}
+	if induced != nil {
+		return nil, induced
 	}
 	return res, nil
 }

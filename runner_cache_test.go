@@ -3,6 +3,7 @@ package blp
 import (
 	"context"
 	"errors"
+	"runtime"
 	"testing"
 	"time"
 
@@ -17,7 +18,7 @@ import (
 func TestRunnerCacheBounded(t *testing.T) {
 	const budget = 256 << 10
 	r := NewRunnerCache(2, budget)
-	r.runFn = func(o Options) (*Result, error) {
+	r.runFn = func(_ context.Context, o Options) (*Result, error) {
 		// ~3.5 KB per result (PerCore dominates via resultCost).
 		return &Result{Cycles: 1, PerCore: make([]core.Stats, 8)}, nil
 	}
@@ -58,7 +59,7 @@ func TestRunnerCacheBounded(t *testing.T) {
 // behaviour for callers that want it.
 func TestRunnerCacheUnbounded(t *testing.T) {
 	r := NewRunnerCache(2, 0)
-	r.runFn = func(o Options) (*Result, error) {
+	r.runFn = func(_ context.Context, o Options) (*Result, error) {
 		return &Result{Cycles: 1, PerCore: make([]core.Stats, 8)}, nil
 	}
 	for seed := uint64(1); seed <= 200; seed++ {
@@ -118,7 +119,7 @@ func TestRunContextWaiterDetaches(t *testing.T) {
 	r := NewRunner(1)
 	release := make(chan struct{})
 	started := make(chan struct{})
-	r.runFn = func(o Options) (*Result, error) {
+	r.runFn = func(_ context.Context, o Options) (*Result, error) {
 		close(started)
 		<-release
 		return &Result{Cycles: 42}, nil
@@ -156,5 +157,54 @@ func TestRunContextWaiterDetaches(t *testing.T) {
 	}
 	if s := r.Stats(); s.Simulated != 1 {
 		t.Fatalf("simulated %d, want 1 (waiter must not re-run)", s.Simulated)
+	}
+}
+
+// TestRunnerCacheHonestCost is the regression test for the resultCost
+// undercount: the old estimate charged a result for its struct size
+// plus len(PerCore) stats, ignoring heap payload the result actually
+// pins — most simply the full backing array of an over-allocated
+// PerCore slice. Each result below pins ~115 KB of backing array while
+// presenting one visible element (~450 bytes to the old formula), so
+// under the old accounting a 2 MiB budget would happily retain all 300
+// results (~34 MiB resident). The honest cost keeps both the cache's
+// own ledger and the process heap within a small multiple of the
+// budget, measured by runtime.MemStats deltas across the churn.
+// (Entries stay under the per-shard budget — an oversized entry is
+// deliberately cached alone even over budget; see memo.New.)
+func TestRunnerCacheHonestCost(t *testing.T) {
+	const budget = 2 << 20
+	const pinned = 256 // cap of each PerCore backing array, ~115 KB
+
+	runtime.GC()
+	var before runtime.MemStats
+	runtime.ReadMemStats(&before)
+
+	r := NewRunnerCache(2, budget)
+	r.runFn = func(_ context.Context, o Options) (*Result, error) {
+		return &Result{Cycles: 1, PerCore: make([]core.Stats, 1, pinned)}, nil
+	}
+	for seed := uint64(1); seed <= 300; seed++ {
+		if _, err := r.Run(Options{Benchmark: "cc", Scale: 6, Seed: seed}); err != nil {
+			t.Fatal(err)
+		}
+		if cs := r.CacheStats(); cs.Bytes > budget {
+			t.Fatalf("resident cache %d bytes exceeds budget %d after seed %d",
+				cs.Bytes, budget, seed)
+		}
+	}
+	if cs := r.CacheStats(); cs.Evictions == 0 {
+		t.Fatal("fat results under a 2 MiB budget caused no evictions")
+	}
+
+	runtime.GC()
+	var after runtime.MemStats
+	runtime.ReadMemStats(&after)
+	// Everything but the bounded resident set is garbage by now. Allow
+	// generous slack for allocator and test-framework noise; the failure
+	// mode being guarded against is ~60x over budget.
+	if growth := int64(after.HeapAlloc) - int64(before.HeapAlloc); growth > 8*budget {
+		t.Fatalf("heap grew %d bytes across churn; want <= %d (8x the %d budget)",
+			growth, 8*budget, budget)
 	}
 }

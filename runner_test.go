@@ -1,6 +1,8 @@
 package blp
 
 import (
+	"context"
+	"errors"
 	"math"
 	"strings"
 	"sync"
@@ -129,7 +131,7 @@ func TestExplicitZeroOptions(t *testing.T) {
 // the Runner must stay usable afterwards.
 func TestRunnerPanicDoesNotDeadlock(t *testing.T) {
 	r := NewRunner(1)
-	r.runFn = func(Options) (*Result, error) { panic("injected failure") }
+	r.runFn = func(context.Context, Options) (*Result, error) { panic("injected failure") }
 	o := Options{Benchmark: "cc", Scale: 6}
 	errs := make(chan error, 2)
 	go func() { _, err := r.Run(o); errs <- err }()
@@ -150,7 +152,7 @@ func TestRunnerPanicDoesNotDeadlock(t *testing.T) {
 
 	// The single worker slot must have been released: a fresh key on the
 	// same Runner still executes.
-	r.runFn = func(Options) (*Result, error) { return &Result{Cycles: 1}, nil }
+	r.runFn = func(context.Context, Options) (*Result, error) { return &Result{Cycles: 1}, nil }
 	done := make(chan struct{})
 	go func() {
 		defer close(done)
@@ -265,5 +267,61 @@ func TestScaleNote(t *testing.T) {
 	// tc default 8: delta -2 reaches the floor exactly — no clamping.
 	if n := scaleNote(-2); strings.Contains(n, "tc=") {
 		t.Fatalf("tc not clamped at delta -2 but reported: %q", n)
+	}
+}
+
+// TestRunAllContextFailsFast is the regression test for the fan-out
+// cancellation bug: RunAllContext used to let every sibling run to
+// completion after one had already failed, so a sweep poisoned by a bad
+// configuration burned its full cost anyway. The failing run must
+// cancel the expensive sibling promptly, and the reported error must be
+// the real failure, not the collateral cancellation.
+func TestRunAllContextFailsFast(t *testing.T) {
+	r := NewRunner(2)
+	boom := errors.New("poisoned configuration")
+	r.runFn = func(ctx context.Context, o Options) (*Result, error) {
+		if o.Seed == 2 {
+			return nil, boom
+		}
+		// The "expensive" sibling: without fail-fast it runs for the
+		// full 30 s and the test times out at the deadline below.
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-time.After(30 * time.Second):
+			return &Result{Cycles: 1}, nil
+		}
+	}
+
+	start := time.Now()
+	_, err := r.RunAllContext(context.Background(), []Options{
+		{Benchmark: "cc", Scale: 6, Seed: 1}, // expensive, must be canceled
+		{Benchmark: "cc", Scale: 6, Seed: 2}, // fails immediately
+	})
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Fatalf("fan-out took %v after a sibling failed; fail-fast is broken", elapsed)
+	}
+	if !errors.Is(err, boom) {
+		t.Fatalf("got error %v; want the poisoned run's error, not the induced cancellation", err)
+	}
+}
+
+// TestRunAllContextParentCancel pins the other direction: when the
+// caller's own context dies, the cancellation is genuine and is what
+// gets reported.
+func TestRunAllContextParentCancel(t *testing.T) {
+	r := NewRunner(1)
+	r.runFn = func(ctx context.Context, o Options) (*Result, error) {
+		<-ctx.Done()
+		return nil, ctx.Err()
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() { time.Sleep(10 * time.Millisecond); cancel() }()
+	_, err := r.RunAllContext(ctx, []Options{
+		{Benchmark: "cc", Scale: 6, Seed: 1},
+		{Benchmark: "cc", Scale: 6, Seed: 2},
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v; want context.Canceled", err)
 	}
 }

@@ -1,0 +1,57 @@
+package blp
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/kernels"
+	"repro/internal/trace"
+)
+
+// TraceKey returns the workload-identity sub-key of Key: the fields that
+// determine the committed instruction stream (benchmark, placement,
+// input instance, thread count) and nothing else. Every timing knob —
+// predictor, ROB geometry, FRQ depth, memory hierarchy, reservation —
+// is deliberately excluded: the functional execution is identical across
+// all of them, which is exactly what lets the Runner capture one trace
+// per TraceKey and replay it under many Keys. The key embeds
+// trace.Version, so a simulator-behavior bump invalidates every cached
+// trace at once.
+func (o Options) TraceKey() string {
+	n := o.normalized()
+	return fmt.Sprintf("trace/v%d %s/%v s%d d%d seed%d pr%d t%d",
+		trace.Version, n.Benchmark, n.Mode, n.Scale, n.Degree, n.Seed,
+		n.PRIters, n.Cores*n.SMT)
+}
+
+// replayEligible reports whether a run with these (normalized) options
+// can be fed from a captured trace: exactly one hardware thread (a
+// multicore emulation interleaving is timing-dependent through shared
+// memory, so per-thread streams are not config-invariant) and no
+// independence checking (the checker observes the live emulator).
+func replayEligible(n Options) bool {
+	return n.Cores*n.SMT == 1 && !n.CheckIndependence
+}
+
+// captureTrace builds the workload for the (normalized) options and
+// records its complete architectural execution, validating the captured
+// run's final memory against the workload's host reference before
+// returning — a trace that would fail the output check must never be
+// cached and replayed.
+func captureTrace(ctx context.Context, n Options) (*trace.Trace, error) {
+	w, err := kernels.Build(buildSpec(n))
+	if err != nil {
+		return nil, err
+	}
+	tr, err := trace.Capture(ctx, w.Progs[0], w.Mem)
+	if err != nil {
+		return nil, fmt.Errorf("blp: %s (%v): %w", n.Benchmark, n.Mode, err)
+	}
+	if w.Check != nil {
+		if err := w.Check(w.Mem); err != nil {
+			return nil, fmt.Errorf("blp: %s (%v): captured execution failed output check: %w",
+				n.Benchmark, n.Mode, err)
+		}
+	}
+	return tr, nil
+}
