@@ -10,10 +10,18 @@
 // meaningful on comparable hardware (CI uses a fixed runner class and
 // refreshes the baseline whenever it changes).
 //
+// With -ledger it instead reads a durable store's append-only experiment
+// ledger (ledger.ndjson, written by sfserved -store-dir or any
+// blp.NewRunnerStore user) and summarizes the campaign's trajectory:
+// computations per benchmark and behavior version, simulated cycles, and
+// wall clock actually spent — history that survives cache eviction and
+// version invalidation alike.
+//
 // Usage:
 //
 //	benchreport -out BENCH_3.json                 # measure, write report
 //	benchreport -delta -2 -baseline BENCH_3.json  # quick run + regression gate
+//	benchreport -ledger /var/lib/sfserved         # summarize ledger history
 package main
 
 import (
@@ -23,11 +31,13 @@ import (
 	"log"
 	"os"
 	"runtime"
+	"sort"
 	"strings"
 	"time"
 
 	blp "repro"
 	"repro/internal/kernels"
+	"repro/internal/store"
 )
 
 // Entry is one measured workload.
@@ -70,9 +80,17 @@ func main() {
 	baseline := flag.String("baseline", "", "earlier BENCH_<n>.json to gate against")
 	threshold := flag.Float64("threshold", 0.20, "max tolerated wall-clock regression vs the baseline")
 	stamp := flag.Bool("stamp", false, "record the generation time (off for committed reports, to keep them reproducible)")
+	ledger := flag.String("ledger", "", "summarize a durable store's experiment ledger (a store directory or ledger.ndjson path) instead of measuring")
 	var notes notesFlag
 	flag.Var(&notes, "note", "free-form note recorded in the report (repeatable)")
 	flag.Parse()
+
+	if *ledger != "" {
+		if err := summarizeLedger(*ledger); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 
 	rep := &Report{Version: *version, GoVersion: runtime.Version(), Delta: *delta, Notes: notes}
 	if *stamp {
@@ -208,6 +226,70 @@ func measureFigure(fig string, delta int) Entry {
 	e := Entry{Name: "fig" + fig, WallSeconds: wall, Allocs: allocs}
 	log.Printf("%-12s %8.2fs  %9d allocs", e.Name, e.WallSeconds, e.Allocs)
 	return e
+}
+
+// summarizeLedger reads an experiment ledger back (see store.ReadLedger)
+// and prints the campaign trajectory: every computation the store's
+// history records, grouped by behavior version and benchmark, with the
+// wall clock actually spent simulating. Unlike the object store the
+// ledger is never evicted or invalidated, so this is the full history —
+// including work whose results a version bump has since retired.
+func summarizeLedger(path string) error {
+	entries, err := store.ReadLedger(path)
+	if err != nil {
+		return err
+	}
+	if len(entries) == 0 {
+		log.Print("ledger is empty")
+		return nil
+	}
+	type agg struct {
+		results, traces int
+		cycles          int64
+		wall            float64
+	}
+	versions := []string{} // first-seen order: the campaign's version trajectory
+	byVer := map[string]map[string]*agg{}
+	var totalWall float64
+	for _, e := range entries {
+		bv := byVer[e.Version]
+		if bv == nil {
+			bv = map[string]*agg{}
+			byVer[e.Version] = bv
+			versions = append(versions, e.Version)
+		}
+		a := bv[e.Benchmark]
+		if a == nil {
+			a = &agg{}
+			bv[e.Benchmark] = a
+		}
+		switch e.Kind {
+		case "trace":
+			a.traces++
+		default:
+			a.results++
+			a.cycles += e.Cycles
+		}
+		a.wall += e.WallSeconds
+		totalWall += e.WallSeconds
+	}
+	first, last := entries[0].Time, entries[len(entries)-1].Time
+	log.Printf("ledger: %d entries, %s .. %s, %.1fs simulator wall clock",
+		len(entries), first, last, totalWall)
+	for _, v := range versions {
+		log.Printf("behavior %s:", v)
+		names := make([]string, 0, len(byVer[v]))
+		for b := range byVer[v] {
+			names = append(names, b)
+		}
+		sort.Strings(names)
+		for _, b := range names {
+			a := byVer[v][b]
+			log.Printf("  %-12s %4d results  %3d traces  %14d cycles  %8.2fs",
+				b, a.results, a.traces, a.cycles, a.wall)
+		}
+	}
+	return nil
 }
 
 // gate compares wall clock against a baseline report; entries present in

@@ -4,6 +4,7 @@
 //	sfserved                        # serve on :8344, NumCPU sim workers
 //	sfserved -addr :9000 -jobs 8
 //	sfserved -cache-mb 256 -queue 128 -run-timeout 2m
+//	sfserved -store-dir /var/lib/sfserved -store-budget 2048
 //
 //	curl -s localhost:8344/healthz
 //	curl -s -X POST localhost:8344/v1/run \
@@ -12,6 +13,14 @@
 //	     -d '{"runs":[{"benchmark":"cc"},{"benchmark":"cc","mode":"outer"}]}'
 //	curl -s 'localhost:8344/v1/figures/4?delta=-2&format=csv'
 //	curl -s localhost:8344/metrics
+//
+// With -store-dir the server keeps a durable result store: completed
+// simulations (and captured traces) persist across restarts, so a
+// restarted server warm-starts from disk instead of re-simulating.
+// Objects are stamped with the simulator-behavior version; a binary
+// whose numbers changed invalidates stale entries automatically. The
+// directory also accumulates an append-only experiment ledger
+// (ledger.ndjson, see benchreport -ledger).
 //
 // SIGINT/SIGTERM drain gracefully: the listener closes, in-flight
 // requests finish (bounded by -drain-timeout), and a final metrics
@@ -26,6 +35,7 @@ import (
 	"syscall"
 	"time"
 
+	blp "repro"
 	"repro/internal/serve"
 )
 
@@ -40,13 +50,15 @@ func main() {
 	queueDepth := flag.Int("queue", 64, "requests waiting for admission before 429s")
 	runTimeout := flag.Duration("run-timeout", 5*time.Minute, "per-run timeout (0 = none)")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "graceful-shutdown bound")
+	storeDir := flag.String("store-dir", "", "durable result-store directory (empty = no persistence)")
+	storeBudget := flag.Int("store-budget", 0, "durable-store disk budget in MiB (0 = unbounded)")
 	flag.Parse()
 
 	cacheBytes := int64(*cacheMB) << 20
 	if *cacheMB == 0 {
 		cacheBytes = -1 // serve maps 0 to the default; negative = unbounded
 	}
-	s := serve.New(serve.Config{
+	cfg := serve.Config{
 		Addr:          *addr,
 		Jobs:          *jobs,
 		CacheBytes:    cacheBytes,
@@ -54,7 +66,19 @@ func main() {
 		QueueDepth:    *queueDepth,
 		RunTimeout:    *runTimeout,
 		Logf:          log.Printf,
-	})
+	}
+	if *storeDir != "" {
+		st, err := blp.OpenStore(*storeDir, int64(*storeBudget)<<20)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer st.Close()
+		ss := st.Stats()
+		log.Printf("store %s: %d objects, %d bytes, behavior version %s",
+			*storeDir, ss.Entries, ss.Bytes, st.Version())
+		cfg.Store = st
+	}
+	s := serve.New(cfg)
 	drained := s.DrainOnSignal(*drainTimeout, syscall.SIGINT, syscall.SIGTERM)
 
 	err := s.ListenAndServe()
@@ -62,7 +86,8 @@ func main() {
 		log.Fatal(err)
 	}
 	// The listener is closed; wait for the drain to finish in-flight
-	// work and flush the final metrics snapshot.
+	// work and flush the final metrics snapshot (the deferred store
+	// Close runs after that, once nothing can append to the ledger).
 	if err := <-drained; err != nil {
 		log.Fatalf("drain: %v", err)
 	}

@@ -29,7 +29,11 @@ type Stats struct {
 	// Hits counts requests answered by a completed, still-resident entry.
 	Hits int64
 	// Joined counts requests that attached to an in-flight computation
-	// of the same key (the singleflight path).
+	// of the same key (the singleflight path) and shared its successful
+	// result. A waiter canceled mid-join, or a shared computation that
+	// errored, is not counted: Hits+Joined is exactly the number of
+	// successfully shared results, so callers that count shares (e.g.
+	// blp.RunnerStats.Cached) can reconcile against it.
 	Joined int64
 	// Misses counts requests that had to run the compute function.
 	Misses int64
@@ -142,9 +146,13 @@ func (c *Cache[V]) Do(ctx context.Context, key string, fn func() (V, error)) (v 
 	}
 	if cl, ok := s.inflight[key]; ok {
 		s.mu.Unlock()
-		c.joined.Add(1)
 		select {
 		case <-cl.done:
+			// Only a successful share counts as joined; an error is
+			// delivered to the waiter but is not a shared result.
+			if cl.err == nil {
+				c.joined.Add(1)
+			}
 			return cl.val, cl.err, true
 		case <-ctx.Done():
 			var zero V

@@ -183,6 +183,131 @@ func TestLRUEvictionOrderAndBudget(t *testing.T) {
 	}
 }
 
+// One oversized insert that trims several entries at once reports every
+// trimmed entry to the OnEvict hook exactly once — and invokes the hook
+// outside the shard lock, proven by the hook re-entering the cache
+// (Stats and Get would deadlock under a held shard mutex).
+func TestOnEvictSeesEveryTrimmedEntryOnceOutsideLock(t *testing.T) {
+	// One shard, 10-byte budget, 3-byte values: holds 3 entries.
+	c := New[string](1, 10, byteCost)
+	evicted := map[string]int{}
+	c.OnEvict(func(key string, v string) {
+		evicted[key]++
+		// Re-enter the cache: both would deadlock if the hook ran under
+		// the shard lock.
+		c.Stats()
+		if _, ok := c.Get(key); ok {
+			t.Errorf("evicted key %q still resident inside the hook", key)
+		}
+	})
+	put := func(k, v string) {
+		c.Do(bg(), k, func() (string, error) { return v, nil })
+	}
+	put("a", "xxx")
+	put("b", "xxx")
+	put("c", "xxx")
+	// A single insert over budget trims a, b, and c in one Do call
+	// (never-evict-newest keeps "big" itself).
+	put("big", strings.Repeat("y", 9))
+	want := map[string]int{"a": 1, "b": 1, "c": 1}
+	if len(evicted) != len(want) {
+		t.Fatalf("hook saw %v, want %v", evicted, want)
+	}
+	for k, n := range want {
+		if evicted[k] != n {
+			t.Fatalf("hook saw %q %d times, want %d (all: %v)", k, evicted[k], n, evicted)
+		}
+	}
+	if st := c.Stats(); st.Evictions != 3 || st.Entries != 1 {
+		t.Fatalf("stats = %+v, want 3 evictions / 1 entry", st)
+	}
+}
+
+// Joined counts only successful shares: a waiter that receives the
+// leader's error, or cancels out of the join, must not inflate it —
+// otherwise Hits+Joined over-reports the shared results callers count.
+func TestJoinedCountsOnlySuccessfulShares(t *testing.T) {
+	c := New[string](1, 0, nil)
+	fail := errors.New("boom")
+
+	// Waiter shares the leader's error: shared=true, not joined.
+	started := make(chan struct{})
+	release := make(chan struct{})
+	go c.Do(bg(), "err", func() (string, error) {
+		close(started)
+		<-release
+		return "", fail
+	})
+	<-started
+	errc := make(chan error, 1)
+	sharedc := make(chan bool, 1)
+	go func() {
+		_, err, shared := c.Do(bg(), "err", nil)
+		errc <- err
+		sharedc <- shared
+	}()
+	time.Sleep(5 * time.Millisecond) // let the waiter attach
+	close(release)
+	if err := <-errc; !errors.Is(err, fail) {
+		t.Fatalf("waiter err = %v, want boom", err)
+	}
+	if !<-sharedc {
+		t.Fatal("errored join not reported shared")
+	}
+	if st := c.Stats(); st.Joined != 0 {
+		t.Fatalf("errored share counted as joined: %+v", st)
+	}
+
+	// Waiter cancels out of the join: not joined either.
+	started2 := make(chan struct{})
+	release2 := make(chan struct{})
+	leader2 := make(chan struct{})
+	go func() {
+		c.Do(bg(), "slow", func() (string, error) {
+			close(started2)
+			<-release2
+			return "v", nil
+		})
+		close(leader2)
+	}()
+	<-started2
+	ctx, cancel := context.WithCancel(bg())
+	go func() {
+		_, err, _ := c.Do(ctx, "slow", nil)
+		errc <- err
+	}()
+	time.Sleep(5 * time.Millisecond)
+	cancel()
+	if err := <-errc; !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled waiter err = %v", err)
+	}
+	close(release2)
+	<-leader2
+
+	// A successful join still counts.
+	started3 := make(chan struct{})
+	release3 := make(chan struct{})
+	go c.Do(bg(), "ok", func() (string, error) {
+		close(started3)
+		<-release3
+		return "v", nil
+	})
+	<-started3
+	vc := make(chan string, 1)
+	go func() {
+		v, _, _ := c.Do(bg(), "ok", nil)
+		vc <- v
+	}()
+	time.Sleep(5 * time.Millisecond)
+	close(release3)
+	if v := <-vc; v != "v" {
+		t.Fatalf("successful join = %q", v)
+	}
+	if st := c.Stats(); st.Joined != 1 {
+		t.Fatalf("joined = %d, want exactly the one successful share", st.Joined)
+	}
+}
+
 // An entry bigger than the whole budget is still cached (alone): the most
 // recent entry is never evicted, so singleflight keeps deduplicating hot
 // oversized results instead of thrashing.

@@ -13,7 +13,12 @@ import (
 //
 // v2: MetricsSnapshot gained trace_cache and sims.captured/replayed
 // (the trace-once/simulate-many counters).
-const SchemaVersion = 2
+//
+// v3: MetricsSnapshot gained store (the durable result store's
+// hit/miss/write/invalidated counters and resident set; null when the
+// server runs without one) and behavior_version (the stamp persisted
+// objects are keyed under).
+const SchemaVersion = 3
 
 // Zero is the wire spelling of blp.Zero: integer options whose zero
 // value means "default" accept -1 to request an explicit 0.

@@ -135,6 +135,14 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	}
 	defer s.q.release()
 
+	// A sweep is a batch the Runner can see whole: hint it exactly as
+	// RunAllContext hints its own fan-outs, so a sweep varying only
+	// timing configuration captures each workload's trace once and
+	// replays it for every other run, instead of re-running the
+	// functional emulator per configuration.
+	release := s.runner.HintTraces(opts)
+	defer release()
+
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.WriteHeader(http.StatusOK)
 	flusher, _ := w.(http.Flusher)
@@ -155,8 +163,16 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 			}
 			if err != nil {
 				item.Error = err.Error()
-				if errors.Is(err, context.DeadlineExceeded) {
+				// Classify like runError: a deadline is a timeout, a
+				// client disconnect is nobody's failure, anything else
+				// is a genuine per-item error and must show up in the
+				// error counter even though the sweep itself streams on.
+				switch {
+				case errors.Is(err, context.DeadlineExceeded):
 					s.metrics.addTimeout()
+				case errors.Is(err, context.Canceled):
+				default:
+					s.metrics.addError()
 				}
 			} else {
 				item.Result = resultJSON(res)
@@ -205,6 +221,21 @@ func (s *Server) figureByID(id string, q map[string]int) (*blp.Figure, error) {
 	return nil, nil
 }
 
+// figureParamRange bounds each figure query parameter. Parsing alone is
+// not validation: a syntactically fine integer like cores=-1 or
+// sizedelta=-10 used to sail through to the figure functions and
+// surface as a 500 (or worse, a silently clamped nonsense sweep). The
+// ranges are generous — delta reaches far below the smallest useful
+// scale (scaled() clamps at its per-benchmark minimum), cores covers
+// any plausible Fig. 10 sweep, sizedelta stays within what keeps the
+// scaled working set at least one — but anything outside them is the
+// client's mistake and is answered 400 before a simulation starts.
+var figureParamRange = map[string][2]int{
+	"delta":     {-24, 8},
+	"cores":     {1, 256},
+	"sizedelta": {-5, 8},
+}
+
 // handleFigure answers GET /v1/figures/{id}?delta=…&format=json|csv.
 // Figure regeneration is not cancelable mid-flight (the figure API
 // predates contexts); the admission queue still bounds how many can run
@@ -217,6 +248,11 @@ func (s *Server) handleFigure(w http.ResponseWriter, r *http.Request) {
 			n, err := strconv.Atoi(v)
 			if err != nil {
 				writeError(w, http.StatusBadRequest, fmt.Sprintf("bad %s %q", name, v))
+				return
+			}
+			if rng := figureParamRange[name]; n < rng[0] || n > rng[1] {
+				writeError(w, http.StatusBadRequest,
+					fmt.Sprintf("%s %d out of range [%d, %d]", name, n, rng[0], rng[1]))
 				return
 			}
 			q[name] = n

@@ -83,6 +83,21 @@ type CacheMetrics struct {
 	Budget    int64 `json:"budget"`
 }
 
+// StoreMetrics mirrors blp.StoreStats on the wire: the durable result
+// store behind the in-memory caches. hits are memo misses answered from
+// disk without simulating (the warm-start path); invalidated counts
+// stale-version or corrupt objects dropped instead of served.
+type StoreMetrics struct {
+	Hits        int64 `json:"hits"`
+	Misses      int64 `json:"misses"`
+	Writes      int64 `json:"writes"`
+	Invalidated int64 `json:"invalidated"`
+	Evictions   int64 `json:"evictions"`
+	Entries     int   `json:"entries"`
+	Bytes       int64 `json:"bytes"`
+	Budget      int64 `json:"budget"`
+}
+
 // SimMetrics mirrors blp.RunnerStats on the wire. Captured/Replayed
 // expose the trace-once/simulate-many accounting: the functional
 // emulator ran simulated - replayed + captured times.
@@ -122,7 +137,12 @@ type MetricsSnapshot struct {
 	Sims             SimMetrics       `json:"sims"`
 	Cache            CacheMetrics     `json:"cache"`
 	TraceCache       CacheMetrics     `json:"trace_cache"`
-	Latency          LatencyMetrics   `json:"latency"`
+	// Store is the durable second level (null when the server runs
+	// without one); BehaviorVersion is the stamp its objects are keyed
+	// under — it changes exactly when the simulator's numbers do.
+	Store           *StoreMetrics  `json:"store"`
+	BehaviorVersion string         `json:"behavior_version"`
+	Latency         LatencyMetrics `json:"latency"`
 }
 
 // snapshot assembles the exported metrics view.
@@ -159,6 +179,14 @@ func (m *serverMetrics) snapshot(runner *blp.Runner, q *queue, draining bool) Me
 		Hits: cs.Trace.Hits, Joined: cs.Trace.Joined, Misses: cs.Trace.Misses,
 		Evictions: cs.Trace.Evictions, Entries: cs.Trace.Entries,
 		Bytes: cs.Trace.Bytes, Budget: cs.Trace.Budget,
+	}
+	snap.BehaviorVersion = blp.BehaviorVersion()
+	if st := cs.Store; st != nil {
+		snap.Store = &StoreMetrics{
+			Hits: st.Hits, Misses: st.Misses, Writes: st.Writes,
+			Invalidated: st.Invalidated, Evictions: st.Evictions,
+			Entries: st.Entries, Bytes: st.Bytes, Budget: st.Budget,
+		}
 	}
 	if q != nil {
 		snap.QueueDepth = q.depth()

@@ -32,6 +32,7 @@ import (
 	"time"
 
 	blp "repro"
+	"repro/internal/store"
 )
 
 // Config sizes a Server. The zero value is usable: defaults are filled
@@ -56,6 +57,12 @@ type Config struct {
 	// deadline propagates as context cancellation into the sim loop.
 	// 0 disables.
 	RunTimeout time.Duration
+	// Store, when non-nil, is the durable result store behind the
+	// Runner's in-memory caches (open one with blp.OpenStore): memo
+	// misses consult it before simulating, fresh results and traces are
+	// written through, and a restarted server warm-starts from it. The
+	// caller owns the store's lifecycle (Close it after Shutdown).
+	Store *store.Store
 	// Logf receives operational log lines (nil: discard).
 	Logf func(format string, args ...any)
 }
@@ -95,7 +102,7 @@ type Server struct {
 // New builds a Server from cfg (see Config for defaulting).
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
-	runner := blp.NewRunnerCache(cfg.Jobs, cfg.CacheBytes)
+	runner := blp.NewRunnerStore(cfg.Jobs, cfg.CacheBytes, cfg.Store)
 	if cfg.MaxConcurrent <= 0 {
 		cfg.MaxConcurrent = 2 * runner.Jobs()
 	}

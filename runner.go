@@ -12,6 +12,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/memo"
 	"repro/internal/memsize"
+	"repro/internal/store"
 	"repro/internal/trace"
 )
 
@@ -41,6 +42,10 @@ type Runner struct {
 	// the functional emulator once per workload and replays the captured
 	// stream for every configuration.
 	traces *memo.Cache[*trace.Trace]
+	// store, when non-nil (NewRunnerStore), is the durable second level
+	// behind both caches: consulted on memo miss before simulating,
+	// written through on compute, spilled to on LRU eviction.
+	store *store.Store
 
 	mu        sync.Mutex
 	progress  io.Writer
@@ -162,8 +167,10 @@ func (r *Runner) Stats() RunnerStats {
 // the resident set against its byte budget.
 type CacheStats struct {
 	// Hits were answered by a completed resident result; Joined attached
-	// to an identical in-flight simulation (singleflight); Misses
-	// simulated. Hits+Joined equals RunnerStats.Cached.
+	// to an identical in-flight simulation (singleflight) and shared its
+	// successful result; Misses simulated. Only successful shares count
+	// on either side, so Hits+Joined equals RunnerStats.Cached exactly —
+	// a waiter canceled mid-join or a shared failure inflates neither.
 	Hits, Joined, Misses int64
 	// Evictions counts results dropped to keep the cache under budget.
 	Evictions int64
@@ -177,6 +184,20 @@ type CacheStats struct {
 	// Options.TraceKey: a Hit or Joined means a simulation reused a
 	// workload's trace instead of re-running the functional emulator.
 	Trace TraceCacheStats
+
+	// Store describes the durable second level (nil without one): a Hit
+	// is a memo miss answered from disk without simulating — the warm-
+	// start path — and Invalidated counts stale-version or corrupt
+	// objects dropped instead of served.
+	Store *StoreStats
+}
+
+// StoreStats mirrors store.Stats for CacheStats (see CacheStats.Store).
+type StoreStats struct {
+	Hits, Misses, Writes, Invalidated, Evictions int64
+	Entries                                      int
+	Bytes                                        int64
+	Budget                                       int64
 }
 
 // TraceCacheStats describes the Runner's trace cache (see
@@ -193,7 +214,7 @@ type TraceCacheStats struct {
 func (r *Runner) CacheStats() CacheStats {
 	s := r.cache.Stats()
 	t := r.traces.Stats()
-	return CacheStats{
+	cs := CacheStats{
 		Hits: s.Hits, Joined: s.Joined, Misses: s.Misses,
 		Evictions: s.Evictions, Entries: s.Entries, Bytes: s.Bytes, Budget: s.Budget,
 		Trace: TraceCacheStats{
@@ -201,6 +222,15 @@ func (r *Runner) CacheStats() CacheStats {
 			Evictions: t.Evictions, Entries: t.Entries, Bytes: t.Bytes, Budget: t.Budget,
 		},
 	}
+	if r.store != nil {
+		st := r.store.Stats()
+		cs.Store = &StoreStats{
+			Hits: st.Hits, Misses: st.Misses, Writes: st.Writes,
+			Invalidated: st.Invalidated, Evictions: st.Evictions,
+			Entries: st.Entries, Bytes: st.Bytes, Budget: st.Budget,
+		}
+	}
+	return cs
 }
 
 // Run is a memoized, concurrency-bounded blp.Run: the first request for a
@@ -228,7 +258,11 @@ func (r *Runner) RunContext(ctx context.Context, o Options) (*Result, error) {
 
 // RunCached is RunContext reporting additionally whether the result was
 // shared — answered by a resident cached result or by joining a
-// duplicate in-flight simulation — rather than freshly simulated.
+// duplicate in-flight simulation — rather than freshly simulated. A
+// share that produced no result — the joined computation errored, or
+// this waiter canceled out of the join — reports shared=true alongside
+// the error but is not counted as cached (nothing was served), so
+// CacheStats.Hits+Joined always equals RunnerStats.Cached.
 func (r *Runner) RunCached(ctx context.Context, o Options) (res *Result, shared bool, err error) {
 	if err := ctx.Err(); err != nil {
 		return nil, false, err
@@ -236,7 +270,7 @@ func (r *Runner) RunCached(ctx context.Context, o Options) (res *Result, shared 
 	res, err, shared = r.cache.Do(ctx, o.Key(), func() (*Result, error) {
 		return r.execute(ctx, o)
 	})
-	if shared {
+	if shared && err == nil {
 		r.mu.Lock()
 		r.cached++
 		w := r.progress
@@ -249,12 +283,17 @@ func (r *Runner) RunCached(ctx context.Context, o Options) (res *Result, shared 
 	return res, shared, err
 }
 
-// execute performs one simulation under the worker-slot semaphore. The
-// deferred recover converts a simulation panic into an error (returned to
-// every singleflight waiter via the cache) and guarantees the slot and
-// counters are restored, so a panicking run can neither strand duplicate
-// requesters nor leak worker capacity.
+// execute answers one memo-missed request: first from the durable store
+// (the warm-start path — no worker slot, no simulation, nothing counted
+// in Simulated), then by simulating under the worker-slot semaphore.
+// The deferred recover converts a simulation panic into an error
+// (returned to every singleflight waiter via the cache) and guarantees
+// the slot and counters are restored, so a panicking run can neither
+// strand duplicate requesters nor leak worker capacity.
 func (r *Runner) execute(ctx context.Context, o Options) (res *Result, err error) {
+	if res, ok := r.storeLoadResult(o.Key()); ok {
+		return res, nil
+	}
 	select {
 	case r.sem <- struct{}{}:
 	case <-ctx.Done():
@@ -284,6 +323,17 @@ func (r *Runner) execute(ctx context.Context, o Options) (res *Result, err error
 		}
 	}()
 
+	res, err = r.simulate(ctx, o)
+	if err == nil {
+		r.storeSaveResult(o.Key(), res)
+		r.ledgerResult(o, res, time.Since(start))
+	}
+	return res, err
+}
+
+// simulate performs the actual computation behind execute: the runFn
+// test seam, or the real simulator fed live or from a captured trace.
+func (r *Runner) simulate(ctx context.Context, o Options) (*Result, error) {
 	if run := r.runFn; run != nil {
 		return run(ctx, o)
 	}
@@ -295,22 +345,30 @@ func (r *Runner) execute(ctx context.Context, o Options) (res *Result, err error
 	// on — run the live emulator as before, and so does a workload with
 	// no reuse in prospect (see wantCapture): the separate capture pass
 	// plus trace residency only pays for itself when at least a second
-	// timing configuration replays the stream. Results are byte-identical
-	// either way.
+	// timing configuration replays the stream. A trace already persisted
+	// in the durable store overrides that bet — it is paid for, so a
+	// restarted process replays it even for a one-shot request. Results
+	// are byte-identical either way.
 	n := o.normalized()
 	if !replayEligible(n) {
 		return runContext(ctx, o, nil)
 	}
 	tk := n.TraceKey()
-	if _, ok := r.traces.Get(tk); !ok && !r.wantCapture(tk) {
+	if _, ok := r.traces.Get(tk); !ok && !r.storeHasTrace(tk) && !r.wantCapture(tk) {
 		return runContext(ctx, o, nil)
 	}
 	tr, terr, _ := r.traces.Do(ctx, tk, func() (*trace.Trace, error) {
+		if t, ok := r.storeLoadTrace(tk); ok {
+			return t, nil
+		}
+		capStart := time.Now()
 		t, err := captureTrace(ctx, n)
 		if err == nil {
 			r.mu.Lock()
 			r.captured++
 			r.mu.Unlock()
+			r.storeSaveTrace(tk, t)
+			r.ledgerTrace(tk, t, time.Since(capStart))
 		}
 		return t, err
 	})
@@ -381,6 +439,19 @@ func (r *Runner) hintTraces(opts []Options) []string {
 	}
 	r.mu.Unlock()
 	return keys
+}
+
+// HintTraces registers the trace reuse a caller-managed batch makes
+// certain, exactly as RunAllContext does for its own fan-outs: every
+// workload shared by two or more distinct replay-eligible
+// configurations in opts is marked for capture until the returned
+// release function is called. Callers that fan out RunContext requests
+// themselves (the serve layer's sweep endpoint, for instance) use this
+// to get the same trace-once/simulate-many behaviour as a RunAll batch.
+// release is idempotent-free: call it exactly once, after the batch.
+func (r *Runner) HintTraces(opts []Options) (release func()) {
+	keys := r.hintTraces(opts)
+	return func() { r.unhintTraces(keys) }
 }
 
 func (r *Runner) unhintTraces(keys []string) {

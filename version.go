@@ -1,0 +1,59 @@
+package blp
+
+import (
+	"crypto/sha256"
+	"embed"
+	"encoding/hex"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// goldenFiles embeds the committed golden outputs — the repository's
+// executable definition of "what the simulator computes". Any PR that
+// changes simulator behavior regenerates these files (golden_test.go
+// fails otherwise), so their content doubles as a behavior fingerprint.
+//
+//go:embed testdata/table1.golden testdata/fig4-minscale.golden
+var goldenFiles embed.FS
+
+// resultSchema versions the persisted encoding of Result itself (the
+// gob stream the durable store holds). Bump it when Result gains,
+// loses, or re-types fields in a way the goldens would not notice —
+// goldens print derived metrics, not the full struct.
+const resultSchema = 1
+
+var behaviorVersion = sync.OnceValue(computeBehaviorVersion)
+
+// BehaviorVersion returns the simulator-behavior version stamp: a short
+// hex digest over the embedded golden files plus the persisted-result
+// schema. It is the version every durable-store object is stamped with
+// (see internal/store), so a behavior-changing PR — which necessarily
+// updates the goldens — silently invalidates all previously persisted
+// results instead of serving numbers the current simulator would no
+// longer produce. The stamp is deliberately derived from committed
+// artifacts, not hand-bumped: forgetting to maintain it is impossible.
+func BehaviorVersion() string { return behaviorVersion() }
+
+func computeBehaviorVersion() string {
+	entries, err := goldenFiles.ReadDir("testdata")
+	if err != nil {
+		panic(fmt.Sprintf("blp: embedded goldens: %v", err)) // impossible: embed is static
+	}
+	names := make([]string, 0, len(entries))
+	for _, e := range entries {
+		names = append(names, e.Name())
+	}
+	sort.Strings(names)
+	h := sha256.New()
+	fmt.Fprintf(h, "result-schema %d\n", resultSchema)
+	for _, name := range names {
+		data, err := goldenFiles.ReadFile("testdata/" + name)
+		if err != nil {
+			panic(fmt.Sprintf("blp: embedded golden %s: %v", name, err))
+		}
+		fmt.Fprintf(h, "%s %d\n", name, len(data))
+		h.Write(data)
+	}
+	return hex.EncodeToString(h.Sum(nil))[:16]
+}
