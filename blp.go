@@ -275,6 +275,20 @@ func runContext(ctx context.Context, o Options, tr *trace.Trace) (*Result, error
 		return nil, err
 	}
 
+	cfg := simConfig(ctx, n)
+	cfg.Replay = tr
+
+	r, err := sim.Run(cfg, w)
+	if err != nil {
+		return nil, fmt.Errorf("blp: %s (%v): %w", o.Benchmark, o.Mode, err)
+	}
+	return makeResult(r), nil
+}
+
+// simConfig maps normalized options to the sim configuration — everything
+// but the frontend source (Replay and batch views are wired by the
+// caller).
+func simConfig(ctx context.Context, n Options) sim.Config {
 	cfg := sim.DefaultConfig()
 	cfg.Cores = n.Cores
 	cfg.Core.SMT = n.SMT
@@ -297,12 +311,12 @@ func runContext(ctx context.Context, o Options, tr *trace.Trace) (*Result, error
 	cfg.WatchdogCycles = n.WatchdogCycles
 	cfg.Recorder = n.Flight
 	cfg.Ctx = ctx
-	cfg.Replay = tr
+	return cfg
+}
 
-	r, err := sim.Run(cfg, w)
-	if err != nil {
-		return nil, fmt.Errorf("blp: %s (%v): %w", o.Benchmark, o.Mode, err)
-	}
+// makeResult converts a sim result into the public Result, deriving the
+// energy proxy.
+func makeResult(r *sim.Result) *Result {
 	e := sim.EstimateEnergy(sim.DefaultEnergyModel(), r)
 	dispatched := r.Total.DispCorrect + r.Total.DispWrong + r.Total.DispOverhead
 	return &Result{
@@ -314,7 +328,7 @@ func runContext(ctx context.Context, o Options, tr *trace.Trace) (*Result, error
 		DRAMBusy:     r.DRAMBusy,
 		Energy:       e,
 		EnergyUseful: e.UsefulFraction(r.Total.Committed, dispatched),
-	}, nil
+	}
 }
 
 // DefaultScale returns the default input scale for a benchmark.

@@ -43,6 +43,7 @@ type Core struct {
 	longUntil    []int64     // completion times of in-flight long-latency loads
 	events       eventHeap
 	pool         []*uop
+	segPool      []*segBuf
 	nextID       uint64
 	dispSeqCtr   uint64 // dispatch-order tie-break counter
 	forceCyc     bool   // cfg.ForceCycleAccurate cached

@@ -330,6 +330,7 @@ func (c *Core) noteResolveDispatched(mi *missInfo) {
 	mi.dispatched++
 	if mi.dispatched >= len(mi.seg) {
 		mi.segDispatched = true
+		c.releaseSeg(mi)
 	}
 }
 

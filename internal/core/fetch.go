@@ -213,11 +213,13 @@ func (c *Core) fetchNormal(t *thread) bool {
 	}
 	t.wpAge = u.d.Seq
 	if selective {
-		seg, err := t.m.RunToSliceEnd(nil)
+		sb := c.getSegBuf()
+		seg, err := t.m.RunToSliceEnd(sb.buf[:0])
 		if err != nil {
 			panic(fmt.Sprintf("core %d thread %d: %v", c.id, t.id, err))
 		}
-		mi := &missInfo{branch: u, branchSeq: u.d.Seq, seg: seg}
+		sb.buf = seg
+		mi := &missInfo{branch: u, branchSeq: u.d.Seq, seg: seg, segOwner: sb}
 		c.stats.SegLenSum += uint64(len(seg))
 		u.miss = mi
 		t.pendingMisses++
@@ -298,6 +300,7 @@ func (c *Core) fetchResolve(t *thread) bool {
 					branchSeq: u.d.Seq,
 					seg:       mi.seg[mi.fetched:],
 				}
+				shareSeg(mi, child)
 				u.miss = child
 				t.pendingMisses++
 				t.unresolved = append(t.unresolved, child)
@@ -306,6 +309,7 @@ func (c *Core) fetchResolve(t *thread) bool {
 				mi.seg = mi.seg[:mi.fetched]
 				if mi.dispatched >= len(mi.seg) {
 					mi.segDispatched = true
+					c.releaseSeg(mi)
 				}
 				last = true
 			} else {

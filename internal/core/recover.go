@@ -65,6 +65,7 @@ func (c *Core) resolveSelective(t *thread, u *uop) {
 	mi.resolved = true
 	if len(mi.seg) == 0 {
 		mi.segDispatched = true
+		c.releaseSeg(mi)
 	} else {
 		// The branch entry is the initial splice cursor: the first
 		// resolved-path instruction is inserted right after it.
@@ -194,6 +195,7 @@ func (c *Core) conventionalFlush(t *thread, u *uop) {
 				// cancel it with its branch.
 				w.miss.cancelled = true
 				t.pendingMisses--
+				c.releaseSeg(w.miss)
 			}
 			c.freeUop(w)
 			continue
@@ -208,6 +210,7 @@ func (c *Core) conventionalFlush(t *thread, u *uop) {
 				if w.miss != nil && !w.miss.resolved && !w.miss.cancelled {
 					w.miss.cancelled = true
 					t.pendingMisses--
+					c.releaseSeg(w.miss)
 				}
 				c.freeUop(w)
 			}
@@ -230,6 +233,7 @@ func (c *Core) conventionalFlush(t *thread, u *uop) {
 				t.pendingMisses--
 			}
 			v.miss.cancelled = true
+			c.releaseSeg(v.miss)
 		}
 		c.freeUop(v)
 	}

@@ -193,6 +193,13 @@ type missInfo struct {
 	resolved bool
 	// cancelled marks a miss squashed by an older conventional flush.
 	cancelled bool
+	// segOwner refcounts the pooled backing buffer of seg. Nested misses
+	// alias a suffix of their parent's array, so the buffer returns to
+	// the core's pool only when every miss sharing it has released;
+	// segReleased makes the release idempotent across the resolution and
+	// cancellation paths.
+	segOwner    *segBuf
+	segReleased bool
 	// flushLen is the number of wrong-path uops flushed at resolution
 	// (for block-gap accounting).
 	flushLen int
@@ -295,4 +302,48 @@ func (c *Core) freeUop(u *uop) {
 	u.t = nil
 	u.waiters = u.waiters[:0]
 	c.pool = append(c.pool, u)
+}
+
+// Segment-buffer pool: the append target handed to RunToSliceEnd at miss
+// detection. A buffer is recycled once every miss aliasing it — the root
+// and any nested children, which slice the parent's array — has stopped
+// consuming elements: its segment fully dispatched, or the miss was
+// cancelled by a conventional flush. After release only len(mi.seg)
+// reads remain, and a slice header's length stays valid when the backing
+// array is handed to a new miss.
+
+type segBuf struct {
+	buf  []emu.DynInst
+	refs int
+}
+
+func (c *Core) getSegBuf() *segBuf {
+	if n := len(c.segPool); n > 0 {
+		sb := c.segPool[n-1]
+		c.segPool = c.segPool[:n-1]
+		sb.refs = 1
+		return sb
+	}
+	return &segBuf{refs: 1}
+}
+
+// shareSeg makes child a co-owner of parent's segment buffer.
+func shareSeg(parent, child *missInfo) {
+	if parent.segOwner != nil {
+		child.segOwner = parent.segOwner
+		child.segOwner.refs++
+	}
+}
+
+// releaseSeg drops mi's reference to its segment buffer, returning the
+// buffer to the pool when mi was the last holder.
+func (c *Core) releaseSeg(mi *missInfo) {
+	if mi.segReleased || mi.segOwner == nil {
+		return
+	}
+	mi.segReleased = true
+	sb := mi.segOwner
+	if sb.refs--; sb.refs == 0 {
+		c.segPool = append(c.segPool, sb)
+	}
 }

@@ -14,6 +14,15 @@ import (
 // model may ignore.
 type BranchDir func(pc int, in isa.Inst, actual bool) bool
 
+// ReadObserver receives the base-memory component of every in-range
+// wrong-path load: which bytes of the access came from the forked memory
+// image (mask bit i set = byte i read from base memory, clear = served by
+// the store overlay) and their value with overlay bytes zeroed. The trace
+// layer uses it to fingerprint the memory a recorded wrong-path segment
+// consumed, so a later fork can validate the segment against its own
+// memory image. Out-of-range loads are not reported.
+type ReadObserver func(addr uint64, size int, mask uint8, base uint64)
+
 // Shadow is the wrong-path engine: a fork of a Machine's architectural
 // state that executes down a mispredicted path. Stores are buffered in an
 // overlay and never reach real memory; loads read through the overlay.
@@ -24,7 +33,8 @@ type Shadow struct {
 	mem     []byte // read-only view of the machine's memory
 	regs    [isa.NumRegs]uint64
 	pc      int
-	overlay map[uint64]byte
+	overlay map[uint64]byte // allocated lazily on the first buffered store
+	onRead  ReadObserver
 	dead    bool // ran off the code, halted, or otherwise cannot continue
 
 	inSlice bool
@@ -50,11 +60,13 @@ func NewShadow(prog *isa.Program, mem []byte, regs [isa.NumRegs]uint64,
 		mem:     mem,
 		regs:    regs,
 		pc:      startPC,
-		overlay: make(map[uint64]byte),
 		inSlice: inSlice,
 		sliceID: sliceID,
 	}
 }
+
+// SetReadObserver installs fn as the shadow's load observer (nil detaches).
+func (s *Shadow) SetReadObserver(fn ReadObserver) { s.onRead = fn }
 
 // Dead reports whether the shadow can no longer produce instructions.
 func (s *Shadow) Dead() bool { return s.dead }
@@ -88,12 +100,26 @@ func (s *Shadow) load(addr uint64, size int) (uint64, bool) {
 	} else {
 		v = binary.LittleEndian.Uint64(s.mem[addr:])
 	}
-	// Patch in overlay bytes from buffered wrong-path stores.
-	for i := 0; i < size; i++ {
-		if b, ok := s.overlay[addr+uint64(i)]; ok {
-			shift := uint(8 * i)
-			v = v&^(0xff<<shift) | uint64(b)<<shift
+	// Patch in overlay bytes from buffered wrong-path stores. mask tracks
+	// which bytes still came from base memory.
+	mask := uint8(uint(1)<<uint(size) - 1)
+	if len(s.overlay) != 0 {
+		for i := 0; i < size; i++ {
+			if b, ok := s.overlay[addr+uint64(i)]; ok {
+				shift := uint(8 * i)
+				v = v&^(0xff<<shift) | uint64(b)<<shift
+				mask &^= 1 << uint(i)
+			}
 		}
+	}
+	if s.onRead != nil {
+		base := v
+		for i := 0; i < size; i++ {
+			if mask&(1<<uint(i)) == 0 {
+				base &^= 0xff << uint(8*i)
+			}
+		}
+		s.onRead(addr, size, mask, base)
 	}
 	return v, true
 }
@@ -101,6 +127,9 @@ func (s *Shadow) load(addr uint64, size int) (uint64, bool) {
 func (s *Shadow) store(addr uint64, size int, v uint64) bool {
 	if addr+uint64(size) > uint64(len(s.mem)) || addr+uint64(size) < addr {
 		return false
+	}
+	if s.overlay == nil {
+		s.overlay = make(map[uint64]byte)
 	}
 	for i := 0; i < size; i++ {
 		s.overlay[addr+uint64(i)] = byte(v >> uint(8*i))

@@ -18,7 +18,14 @@ import (
 // hit/miss/write/invalidated counters and resident set; null when the
 // server runs without one) and behavior_version (the stamp persisted
 // objects are keyed under).
-const SchemaVersion = 3
+//
+// v4: MetricsSnapshot gained the batched-replay counters: sims.batched
+// and sims.batch_groups (same-workload fan-outs run as one shared-decode
+// batch), the seg_* wrong-path segment-cache counters (hits, misses,
+// invalidated, and bypassed — forks after a trace's cache disabled its
+// own recording), and batch_group_sizes (histogram of lanes per batch,
+// keyed by size).
+const SchemaVersion = 4
 
 // Zero is the wire spelling of blp.Zero: integer options whose zero
 // value means "default" accept -1 to request an explicit 0.

@@ -3,6 +3,7 @@ package serve
 import (
 	"math"
 	"sort"
+	"strconv"
 	"sync"
 	"time"
 
@@ -100,13 +101,23 @@ type StoreMetrics struct {
 
 // SimMetrics mirrors blp.RunnerStats on the wire. Captured/Replayed
 // expose the trace-once/simulate-many accounting: the functional
-// emulator ran simulated - replayed + captured times.
+// emulator ran simulated - replayed + captured times. Batched counts
+// the replayed runs that rode a shared-decode batch (BatchGroups of
+// them), and the seg_* counters expose the wrong-path segment cache:
+// hits replayed a memoized wrong path with zero shadow emulation,
+// invalidated counts fingerprint mismatches that fell back to live.
 type SimMetrics struct {
-	Simulated int `json:"simulated"`
-	Cached    int `json:"cached"`
-	InFlight  int `json:"in_flight"`
-	Captured  int `json:"captured"`
-	Replayed  int `json:"replayed"`
+	Simulated      int   `json:"simulated"`
+	Cached         int   `json:"cached"`
+	InFlight       int   `json:"in_flight"`
+	Captured       int   `json:"captured"`
+	Replayed       int   `json:"replayed"`
+	Batched        int   `json:"batched"`
+	BatchGroups    int   `json:"batch_groups"`
+	SegHits        int64 `json:"seg_hits"`
+	SegMisses      int64 `json:"seg_misses"`
+	SegInvalidated int64 `json:"seg_invalidated"`
+	SegBypassed    int64 `json:"seg_bypassed"`
 }
 
 // LatencyMetrics summarizes the recent-request latency window.
@@ -140,8 +151,12 @@ type MetricsSnapshot struct {
 	// Store is the durable second level (null when the server runs
 	// without one); BehaviorVersion is the stamp its objects are keyed
 	// under — it changes exactly when the simulator's numbers do.
-	Store           *StoreMetrics  `json:"store"`
-	BehaviorVersion string         `json:"behavior_version"`
+	Store           *StoreMetrics `json:"store"`
+	BehaviorVersion string        `json:"behavior_version"`
+	// BatchGroupSizes histograms the Runner's batch groups by lane
+	// count: key "6" -> 1 means one six-configuration sweep was run as
+	// a single shared-decode batch. Empty until a batch has run.
+	BatchGroupSizes map[string]int `json:"batch_group_sizes"`
 	Latency         LatencyMetrics `json:"latency"`
 }
 
@@ -169,6 +184,13 @@ func (m *serverMetrics) snapshot(runner *blp.Runner, q *queue, draining bool) Me
 	snap.Sims = SimMetrics{
 		Simulated: rs.Simulated, Cached: rs.Cached, InFlight: rs.InFlight,
 		Captured: rs.Captured, Replayed: rs.Replayed,
+		Batched: rs.Batched, BatchGroups: rs.BatchGroups,
+		SegHits: rs.SegHits, SegMisses: rs.SegMisses,
+		SegInvalidated: rs.SegInvalidated, SegBypassed: rs.SegBypassed,
+	}
+	snap.BatchGroupSizes = make(map[string]int)
+	for k, v := range runner.BatchHistogram() {
+		snap.BatchGroupSizes[strconv.Itoa(k)] = v
 	}
 	cs := runner.CacheStats()
 	snap.Cache = CacheMetrics{

@@ -508,3 +508,41 @@ func TestPanicContained(t *testing.T) {
 		t.Fatal("server unusable after handler panic")
 	}
 }
+
+// TestMetricsSchemaV4Fields pins the v4 additions to GET /metrics: the
+// wrong-path segment-cache counters surface once a replayed run has
+// exercised the cache, and the batch fields are on the wire. (The sweep
+// endpoint runs items individually to stream them in completion order,
+// so the batch counters stay zero here; they count RunAllContext groups
+// on an embedded Runner.)
+func TestMetricsSchemaV4Fields(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	body := `{"runs":[
+		{"benchmark":"cc","scale":6,"mode":"outer"},
+		{"benchmark":"cc","scale":6,"mode":"outer","predictor":"oracle"}
+	]}`
+	resp := postJSON(t, ts.URL+"/v1/sweep", body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if items := readSweepItems(t, resp); len(items) != 2 {
+		t.Fatalf("got %d items, want 2", len(items))
+	}
+	snap := getMetrics(t, ts.URL)
+	if snap.SchemaVersion != SchemaVersion {
+		t.Fatalf("schema_version %d, want %d", snap.SchemaVersion, SchemaVersion)
+	}
+	if snap.Sims.Replayed == 0 {
+		t.Fatalf("two timing configs of one workload did not replay: %+v", snap.Sims)
+	}
+	if snap.Sims.SegMisses == 0 {
+		t.Fatalf("segment-cache counters missing from the wire: %+v", snap.Sims)
+	}
+	if snap.BatchGroupSizes == nil {
+		t.Fatal("batch_group_sizes absent from the snapshot")
+	}
+	if snap.Sims.Batched != 0 || snap.Sims.BatchGroups != 0 || len(snap.BatchGroupSizes) != 0 {
+		t.Fatalf("per-item sweep reported batch groups: %+v sizes=%v",
+			snap.Sims, snap.BatchGroupSizes)
+	}
+}

@@ -1,0 +1,742 @@
+package trace
+
+import (
+	"encoding/binary"
+	"math/bits"
+	"reflect"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/emu"
+	"repro/internal/isa"
+)
+
+// Wrong-path segment memoization.
+//
+// The set of mispredicted branches is timing-dependent, but the wrong-path
+// instructions generated from a given (divergence PC, slice context) mostly
+// are not: the shadow engine is deterministic in the forking replay's
+// architectural state, so two forks at the same point with the same
+// consumed inputs produce byte-identical segments. A SegCache records the
+// segment a live shadow produced together with a read-set fingerprint —
+// the registers and base-memory bytes the segment actually consumed — and
+// later forks whose state matches the fingerprint replay the recorded
+// segment with zero shadow emulation. A mismatch (e.g. a store landed
+// between two visits to the same branch) falls back to a live shadow and
+// publishes a fresh variant.
+//
+// The cache is attached to a Trace (EnsureSegs) and shared by every Replay
+// of that trace, including the lockstep lanes of a Batch — which is where
+// it pays off most: lanes fork at identical stream positions with
+// identical architectural state, so after the first lane records a
+// segment, the remaining lanes replay it.
+
+const (
+	// DefaultSegBudget bounds one trace's resident segment bytes.
+	DefaultSegBudget = 32 << 20
+	// segVariantsPerKey caps fingerprint variants retained per divergence
+	// point; within a key, variants are kept in MRU order.
+	segVariantsPerKey = 8
+	// maxSegSteps caps a recorded segment's length. Wrong paths longer
+	// than this keep executing live past the recorded prefix.
+	maxSegSteps = 512
+	// segFlushChunk batches recorder publications to amortize cache locking.
+	segFlushChunk = 64
+	// Adaptive bypass: every segAdaptCheck forks (after segAdaptWarmup of
+	// them have seeded the cache), the cache compares its own hits against
+	// fingerprint invalidations; when invalidations exceed segAdaptRatio×
+	// the hits, the workload's wrong paths are data-dependent (the same
+	// divergence PC forks with ever-different register values, as in graph
+	// traversals) and caching them is pure churn — record, validate,
+	// evict, repeat. The cache then disables itself for this trace:
+	// segments are freed, and forks return plain live shadows with zero
+	// recording or validation overhead. The decision is one-way and
+	// per-trace; workloads whose wrong paths are stable re-hit from the
+	// second visit on and never trip it.
+	segAdaptWarmup = 1024
+	segAdaptCheck  = 512
+	segAdaptRatio  = 2
+)
+
+// SegStats aggregates segment-cache counters across every trace sharing
+// the sink (the Runner passes one sink to all EnsureSegs calls).
+type SegStats struct {
+	Hits        atomic.Int64 // forks served from a recorded segment
+	Misses      atomic.Int64 // forks with no recorded segment at the point
+	Invalidated atomic.Int64 // forks where every variant failed fingerprint validation
+	Overruns    atomic.Int64 // replays that ran past the recorded segment (live extension)
+	Divergences atomic.Int64 // replays where the predictor left the recorded path
+	Evictions   atomic.Int64 // divergence points evicted under the byte budget
+	Bypassed    atomic.Int64 // forks after the cache disabled itself (adaptive bypass)
+}
+
+type segKey struct {
+	pc      int32
+	inSlice bool
+}
+
+// wpStep is one recorded wrong-path instruction. Everything else a
+// replayer needs (post-step slice context, death, next fetch PC) is
+// derived from the DynInst exactly as the live shadow derives it.
+type wpStep struct {
+	d      emu.DynInst
+	actual bool // direction the shadow's own registers produced (branches)
+}
+
+// segRead is one base-memory read the segment consumed: mask bit i set
+// means byte i of the access came from the forked memory image (clear
+// bytes were served by the shadow's own store overlay and are zeroed in
+// base). A future fork validates by re-reading its memory image.
+type segRead struct {
+	addr uint64
+	base uint64
+	size uint8
+	mask uint8
+}
+
+// segVariant is one recorded segment plus the fingerprint that validates
+// it: readMask names the registers consumed before being written, with
+// their fork-time values in readVals; reads lists the base-memory bytes
+// consumed. Both grow if a later replay extends the segment live.
+type segVariant struct {
+	readMask    uint32
+	readVals    [isa.NumRegs]uint64 // meaningful only at readMask bits
+	reads       []segRead
+	steps       []wpStep
+	forkSliceID uint64 // slice id at recording fork, rewritten on replay
+	bytes       int64  // resident-byte estimate while published
+}
+
+type segEntry struct {
+	variants []*segVariant // MRU order
+	lastUse  uint64
+	key      segKey
+}
+
+var (
+	wpStepBytes   = int64(reflect.TypeOf(wpStep{}).Size())
+	segReadBytes  = int64(reflect.TypeOf(segRead{}).Size())
+	segFixedBytes = int64(reflect.TypeOf(segVariant{}).Size()) + int64(reflect.TypeOf(segEntry{}).Size())
+)
+
+func (v *segVariant) residentBytes() int64 {
+	return segFixedBytes + int64(cap(v.steps))*wpStepBytes + int64(cap(v.reads))*segReadBytes
+}
+
+// SegCache is the bounded per-trace wrong-path segment cache. All state is
+// guarded by mu; concurrent replays of the shared trace fork through it.
+type SegCache struct {
+	mu      sync.Mutex
+	entries map[segKey]*segEntry
+	bytes   int64
+	budget  int64
+	tick    uint64
+	stats   *SegStats
+
+	// Adaptive bypass state: per-trace fork/hit/invalidation tallies
+	// (distinct from stats, which may be a sink shared across traces) and
+	// the one-way off switch they trip.
+	forks      int64
+	localHits  int64
+	localInval int64
+	off        bool
+}
+
+func newSegCache(budget int64, stats *SegStats) *SegCache {
+	if budget <= 0 {
+		budget = DefaultSegBudget
+	}
+	if stats == nil {
+		stats = &SegStats{}
+	}
+	return &SegCache{entries: make(map[segKey]*segEntry), budget: budget, stats: stats}
+}
+
+// Bytes reports the cache's resident segment bytes.
+func (sc *SegCache) Bytes() int64 {
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	return sc.bytes
+}
+
+// Keys reports how many divergence points currently hold segments.
+func (sc *SegCache) Keys() int {
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	return len(sc.entries)
+}
+
+// validateLocked reports whether the variant's fingerprint matches the
+// forking replay's architectural state. Caller holds sc.mu.
+func (v *segVariant) validateLocked(r *Replay) bool {
+	m := v.readMask
+	for m != 0 {
+		i := bits.TrailingZeros32(m)
+		m &^= 1 << uint(i)
+		if r.regs[i] != v.readVals[i] {
+			return false
+		}
+	}
+	for i := range v.reads {
+		rd := &v.reads[i]
+		got, ok := segBaseRead(r.mem, rd.addr, int(rd.size), rd.mask)
+		if !ok || got != rd.base {
+			return false
+		}
+	}
+	return true
+}
+
+// segBaseRead reads size bytes at addr from mem and zeroes the bytes not
+// in mask, mirroring how the shadow's ReadObserver reported them.
+func segBaseRead(mem []byte, addr uint64, size int, mask uint8) (uint64, bool) {
+	if addr+uint64(size) > uint64(len(mem)) || addr+uint64(size) < addr {
+		return 0, false
+	}
+	var v uint64
+	if size == 4 {
+		v = uint64(binary.LittleEndian.Uint32(mem[addr:]))
+	} else {
+		v = binary.LittleEndian.Uint64(mem[addr:])
+	}
+	for i := 0; i < size; i++ {
+		if mask&(1<<uint(i)) == 0 {
+			v &^= 0xff << uint(8*i)
+		}
+	}
+	return v, true
+}
+
+// wpDead reports whether the shadow would be dead after producing d,
+// mirroring Shadow.Step's termination rules exactly.
+func wpDead(d *emu.DynInst, progLen int) bool {
+	op := d.Inst.Op
+	if op == isa.Halt || op == isa.Barrier {
+		return true
+	}
+	return d.NextPC < 0 || d.NextPC >= progLen
+}
+
+// wpPostInSlice derives the slice context after d, mirroring Shadow.Step.
+func wpPostInSlice(d *emu.DynInst) bool {
+	switch d.Inst.Op {
+	case isa.SliceStart:
+		return true
+	case isa.SliceEnd:
+		return false
+	}
+	return d.InSlice
+}
+
+func regBit(r isa.Reg) uint32 { return uint32(1) << uint(r) }
+
+// noteRegs folds one instruction's register reads/writes into the running
+// first-read fingerprint: a register counts as consumed only if read
+// before the segment writes it. The shadow reads Src1/Src2 for every
+// instruction and Val for stores/atomics; R0 is hardwired zero.
+func noteRegs(in isa.Inst, readMask, written *uint32) {
+	note := func(r isa.Reg) {
+		if r != isa.R0 {
+			if b := regBit(r); *written&b == 0 {
+				*readMask |= b
+			}
+		}
+	}
+	note(in.Src1)
+	note(in.Src2)
+	if in.Op.IsStore() || in.Op.IsAtomic() {
+		note(in.Val)
+	}
+	if in.Op.HasDst() && in.Dst != isa.R0 {
+		*written |= regBit(in.Dst)
+	}
+}
+
+// fork serves Replay.Fork through the cache: a fingerprint match replays
+// the recorded segment; otherwise a live shadow runs with a recorder that
+// publishes a fresh variant.
+func (sc *SegCache) fork(r *Replay, startPC int, inSlice bool, sliceID uint64) emu.WrongPath {
+	key := segKey{pc: int32(startPC), inSlice: inSlice}
+	sc.mu.Lock()
+	if sc.off {
+		sc.mu.Unlock()
+		sc.stats.Bypassed.Add(1)
+		return emu.NewShadow(r.prog, r.mem, r.regs, startPC, inSlice, sliceID)
+	}
+	sc.forks++
+	if sc.forks >= segAdaptWarmup && sc.forks%segAdaptCheck == 0 &&
+		sc.localHits*segAdaptRatio < sc.localInval {
+		sc.disableLocked()
+		sc.mu.Unlock()
+		sc.stats.Bypassed.Add(1)
+		return emu.NewShadow(r.prog, r.mem, r.regs, startPC, inSlice, sliceID)
+	}
+	sc.tick++
+	e := sc.entries[key]
+	hadVariants := e != nil && len(e.variants) > 0
+	var match *segVariant
+	if e != nil {
+		e.lastUse = sc.tick
+		for i, v := range e.variants {
+			if v.validateLocked(r) {
+				match = v
+				if i != 0 {
+					copy(e.variants[1:i+1], e.variants[:i])
+					e.variants[0] = v
+				}
+				break
+			}
+		}
+	}
+	if match != nil {
+		steps := match.steps
+		sc.localHits++
+		sc.mu.Unlock()
+		sc.stats.Hits.Add(1)
+		return &segReplayer{
+			sc:      sc,
+			v:       match,
+			steps:   steps,
+			r:       r,
+			regs:    r.regs,
+			startPC: startPC,
+			forkIn:  inSlice,
+			sliceID: sliceID,
+			oldID:   match.forkSliceID,
+		}
+	}
+	if hadVariants {
+		sc.localInval++
+	}
+	sc.mu.Unlock()
+	if hadVariants {
+		sc.stats.Invalidated.Add(1)
+	} else {
+		sc.stats.Misses.Add(1)
+	}
+	sh := emu.NewShadow(r.prog, r.mem, r.regs, startPC, inSlice, sliceID)
+	rec := &segRecorder{
+		sc:        sc,
+		key:       key,
+		sh:        sh,
+		progLen:   len(r.prog.Code),
+		forkIn:    inSlice,
+		forkVals:  r.regs,
+		recording: true,
+	}
+	rec.v = &segVariant{forkSliceID: sliceID}
+	sh.SetReadObserver(func(addr uint64, size int, mask uint8, base uint64) {
+		if rec.recording {
+			rec.pendReads = append(rec.pendReads,
+				segRead{addr: addr, base: base, size: uint8(size), mask: mask})
+		}
+	})
+	return rec
+}
+
+// disableLocked trips the adaptive bypass: every segment is freed and the
+// cache stops recording. Outstanding replayers keep their step snapshots
+// (immutable once taken); outstanding recorders find their variants
+// non-resident and publish nothing further. Caller holds sc.mu.
+func (sc *SegCache) disableLocked() {
+	sc.off = true
+	for _, e := range sc.entries {
+		for _, v := range e.variants {
+			v.bytes = 0
+		}
+	}
+	sc.entries = make(map[segKey]*segEntry)
+	sc.bytes = 0
+}
+
+// Disabled reports whether the adaptive bypass has tripped.
+func (sc *SegCache) Disabled() bool {
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	return sc.off
+}
+
+// publishLocked inserts or refreshes the entry for key with v (MRU
+// position), evicting the key's LRU variant beyond segVariantsPerKey and
+// whole LRU keys beyond the byte budget. Caller holds sc.mu.
+func (sc *SegCache) publishLocked(key segKey, v *segVariant) {
+	if sc.off {
+		return
+	}
+	e := sc.entries[key]
+	if e == nil {
+		e = &segEntry{key: key}
+		sc.entries[key] = e
+	}
+	sc.tick++
+	e.lastUse = sc.tick
+	e.variants = append(e.variants, nil)
+	copy(e.variants[1:], e.variants)
+	e.variants[0] = v
+	if len(e.variants) > segVariantsPerKey {
+		last := e.variants[len(e.variants)-1]
+		sc.bytes -= last.bytes
+		last.bytes = 0
+		e.variants = e.variants[:len(e.variants)-1]
+	}
+	v.bytes = v.residentBytes()
+	sc.bytes += v.bytes
+	sc.evictLocked(e)
+}
+
+// resizeLocked re-accounts v after growth. Caller holds sc.mu; v must be
+// resident (bytes > 0) or the delta is ignored.
+func (sc *SegCache) resizeLocked(v *segVariant, keep *segEntry) {
+	if v.bytes == 0 {
+		return
+	}
+	nb := v.residentBytes()
+	sc.bytes += nb - v.bytes
+	v.bytes = nb
+	sc.evictLocked(keep)
+}
+
+// evictLocked drops least-recently-used divergence points until the cache
+// fits its budget; keep (the key just touched) is never evicted.
+func (sc *SegCache) evictLocked(keep *segEntry) {
+	for sc.bytes > sc.budget && len(sc.entries) > 1 {
+		var victim *segEntry
+		for _, e := range sc.entries {
+			if e == keep {
+				continue
+			}
+			if victim == nil || e.lastUse < victim.lastUse {
+				victim = e
+			}
+		}
+		if victim == nil {
+			return
+		}
+		for _, v := range victim.variants {
+			sc.bytes -= v.bytes
+			v.bytes = 0
+		}
+		delete(sc.entries, victim.key)
+		sc.stats.Evictions.Add(1)
+	}
+}
+
+// resident reports whether v is still published (not evicted); callers
+// use it to stop extending detached variants. Caller holds sc.mu.
+func (v *segVariant) resident() bool { return v.bytes != 0 }
+
+// segRecorder wraps a live shadow on a cache miss and publishes the
+// segment it generates. Publication is incremental (every segFlushChunk
+// steps, at slice exit, at shadow death, and when the owning replay forks
+// again), so lockstep lanes trailing the recorder can already hit the
+// growing prefix.
+type segRecorder struct {
+	sc       *SegCache
+	key      segKey
+	sh       *emu.Shadow
+	v        *segVariant
+	progLen  int
+	forkIn   bool
+	forkVals [isa.NumRegs]uint64 // fork-time registers; first-read rule makes
+	// these the values the segment consumed for every readMask bit
+
+	recording bool
+	published bool // v inserted into the cache
+	steps     int  // total steps recorded into v (published + pending)
+	readMask  uint32
+	written   uint32
+	pendSteps []wpStep
+	pendReads []segRead
+}
+
+func (rw *segRecorder) Step(dir emu.BranchDir) (emu.DynInst, bool) {
+	if !rw.recording {
+		return rw.sh.Step(dir)
+	}
+	var actual bool
+	d, ok := rw.sh.Step(func(pc int, in isa.Inst, a bool) bool {
+		actual = a
+		return dir(pc, in, a)
+	})
+	if !ok {
+		rw.flush()
+		rw.recording = false
+		return d, ok
+	}
+	noteRegs(d.Inst, &rw.readMask, &rw.written)
+	rw.pendSteps = append(rw.pendSteps, wpStep{d: d, actual: actual})
+	rw.steps++
+	dead := wpDead(&d, rw.progLen)
+	sliceDone := rw.forkIn && !rw.sh.InSlice()
+	if dead || sliceDone || len(rw.pendSteps) >= segFlushChunk || rw.steps >= maxSegSteps {
+		rw.flush()
+	}
+	if dead || rw.steps >= maxSegSteps {
+		rw.recording = false
+	}
+	return d, ok
+}
+
+// flush publishes the pending steps and reads into the cache. The first
+// flush inserts the variant; later flushes extend it in place unless a
+// concurrent replay already extended past us (identical content either
+// way, so we simply stop) or the variant was evicted.
+func (rw *segRecorder) flush() {
+	if len(rw.pendSteps) == 0 {
+		rw.pendReads = rw.pendReads[:0]
+		return
+	}
+	sc := rw.sc
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	v := rw.v
+	if !rw.published {
+		v.readMask = rw.readMask
+		mergeReadVals(v, rw.forkVals, rw.readMask)
+		v.reads = append(v.reads, rw.pendReads...)
+		v.steps = append(v.steps, rw.pendSteps...)
+		sc.publishLocked(rw.key, v)
+		rw.published = true
+	} else {
+		if !v.resident() || len(v.steps) != rw.steps-len(rw.pendSteps) {
+			rw.recording = false
+			rw.pendSteps, rw.pendReads = nil, nil
+			return
+		}
+		v.readMask |= rw.readMask
+		mergeReadVals(v, rw.forkVals, rw.readMask)
+		v.reads = append(v.reads, rw.pendReads...)
+		v.steps = append(v.steps, rw.pendSteps...)
+		sc.resizeLocked(v, sc.entries[rw.key])
+	}
+	rw.pendSteps = rw.pendSteps[:0]
+	rw.pendReads = rw.pendReads[:0]
+}
+
+func mergeReadVals(v *segVariant, vals [isa.NumRegs]uint64, mask uint32) {
+	for m := mask; m != 0; {
+		i := bits.TrailingZeros32(m)
+		m &^= 1 << uint(i)
+		v.readVals[i] = vals[i]
+	}
+}
+
+func (rw *segRecorder) Dead() bool    { return rw.sh.Dead() }
+func (rw *segRecorder) NextPC() int   { return rw.sh.NextPC() }
+func (rw *segRecorder) InSlice() bool { return rw.sh.InSlice() }
+
+// finalize flushes any unpublished tail; called when the owning replay
+// forks its next wrong path (this shadow can never be stepped again).
+func (rw *segRecorder) finalize() {
+	if rw.recording {
+		rw.flush()
+		rw.recording = false
+	}
+}
+
+// segReplayer replays a recorded segment as an emu.WrongPath with zero
+// shadow emulation. It rewrites the recorded slice id to the new fork's,
+// re-runs the predictor callback with the recorded pre-override direction
+// per branch, and falls back to a live shadow when the predictor leaves
+// the recorded path (divergence) or the consumer outruns it (overrun —
+// in which case the live continuation extends the shared variant).
+type segReplayer struct {
+	sc    *SegCache
+	v     *segVariant
+	steps []wpStep // snapshot; the shared variant may grow beyond it
+	idx   int
+
+	r       *Replay
+	regs    [isa.NumRegs]uint64 // fork-time registers, for fallback rebuild
+	startPC int
+	forkIn  bool
+	sliceID uint64
+	oldID   uint64
+
+	readMask uint32 // running first-read fingerprint, for extension
+	written  uint32
+
+	live      *emu.Shadow // non-nil after divergence or overrun
+	extending bool        // live continuation still extends the variant
+	pendReads []segRead
+	dead      bool
+}
+
+func (rp *segReplayer) Step(dir emu.BranchDir) (emu.DynInst, bool) {
+	if rp.live != nil {
+		return rp.liveStep(dir)
+	}
+	if rp.dead {
+		return emu.DynInst{}, false
+	}
+	if rp.idx >= len(rp.steps) {
+		if !rp.refresh() {
+			return rp.overrun(dir)
+		}
+	}
+	st := &rp.steps[rp.idx]
+	d := st.d
+	if d.Inst.Op.IsBranch() {
+		got := dir(d.PC, d.Inst, st.actual)
+		if got != d.Taken {
+			return rp.diverge(dir, got)
+		}
+	}
+	noteRegs(d.Inst, &rp.readMask, &rp.written)
+	if d.SliceID == rp.oldID {
+		d.SliceID = rp.sliceID
+	}
+	rp.idx++
+	if wpDead(&st.d, len(rp.r.prog.Code)) {
+		rp.dead = true
+	}
+	return d, true
+}
+
+// refresh re-snapshots the shared variant: in lockstep batches the
+// recording lane is usually only a flush chunk ahead, so an apparent
+// overrun often just means more steps were published since our snapshot.
+func (rp *segReplayer) refresh() bool {
+	rp.sc.mu.Lock()
+	grown := len(rp.v.steps) > len(rp.steps)
+	if grown {
+		rp.steps = rp.v.steps
+	}
+	rp.sc.mu.Unlock()
+	return grown
+}
+
+// overrun switches to a live shadow fast-forwarded over the replayed
+// prefix, then continues stepping it (extending the variant in place when
+// still possible).
+func (rp *segReplayer) overrun(dir emu.BranchDir) (emu.DynInst, bool) {
+	rp.sc.stats.Overruns.Add(1)
+	rp.buildLive()
+	rp.extending = true
+	return rp.liveStep(dir)
+}
+
+// diverge switches to a live shadow because the predictor chose direction
+// got where the recording took the other arm. The current branch is
+// re-executed on the live shadow with the already-obtained decision (the
+// predictor callback must run exactly once per fetched branch).
+func (rp *segReplayer) diverge(dir emu.BranchDir, got bool) (emu.DynInst, bool) {
+	rp.sc.stats.Divergences.Add(1)
+	rp.buildLive()
+	d, ok := rp.live.Step(func(int, isa.Inst, bool) bool { return got })
+	if !ok {
+		rp.dead = true
+	}
+	return d, ok
+}
+
+// buildLive reconstructs the live shadow state at rp.idx: a fresh shadow
+// from the fork-time snapshot, fast-forwarded through the recorded prefix
+// with the recorded directions (no predictor callbacks — those already
+// ran while replaying). The fingerprint guarantee makes this exact: the
+// prefix's consumed inputs match, so the rebuilt overlay and registers
+// equal the recording's at this point.
+func (rp *segReplayer) buildLive() {
+	sh := emu.NewShadow(rp.r.prog, rp.r.mem, rp.regs, rp.startPC, rp.forkIn, rp.sliceID)
+	var want bool
+	ffDir := func(int, isa.Inst, bool) bool { return want }
+	for i := 0; i < rp.idx; i++ {
+		want = rp.steps[i].d.Taken
+		if _, ok := sh.Step(ffDir); !ok {
+			break
+		}
+	}
+	sh.SetReadObserver(func(addr uint64, size int, mask uint8, base uint64) {
+		if rp.extending {
+			rp.pendReads = append(rp.pendReads,
+				segRead{addr: addr, base: base, size: uint8(size), mask: mask})
+		}
+	})
+	rp.live = sh
+}
+
+// liveStep executes on the fallback shadow; while extending, each step is
+// appended to the shared variant so other lanes stop overrunning here.
+func (rp *segReplayer) liveStep(dir emu.BranchDir) (emu.DynInst, bool) {
+	var actual bool
+	rp.pendReads = rp.pendReads[:0]
+	d, ok := rp.live.Step(func(pc int, in isa.Inst, a bool) bool {
+		actual = a
+		return dir(pc, in, a)
+	})
+	if !ok {
+		return d, ok
+	}
+	if rp.extending {
+		noteRegs(d.Inst, &rp.readMask, &rp.written)
+		rp.extend(d, actual)
+	}
+	return d, true
+}
+
+// extend appends one live step to the shared variant. Extension is only
+// legal while nobody else moved the variant past our position and it is
+// still resident; afterwards the live shadow simply keeps executing
+// unrecorded. The recorded step stores the shadow's own slice id (the
+// recording's fork id), so the stored form matches what a recorder at
+// this fork would have written.
+func (rp *segReplayer) extend(d emu.DynInst, actual bool) {
+	if rp.idx >= maxSegSteps {
+		rp.extending = false
+		return
+	}
+	sc := rp.sc
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	v := rp.v
+	if !v.resident() || len(v.steps) != rp.idx {
+		rp.extending = false
+		return
+	}
+	// Store the step in recording form: the new fork's slice id maps back
+	// to the variant's fork id so any future fork can rewrite it again.
+	sd := d
+	if sd.SliceID == rp.sliceID {
+		sd.SliceID = rp.oldID
+	}
+	newBits := rp.readMask &^ v.readMask
+	if newBits != 0 {
+		v.readMask |= newBits
+		mergeReadVals(v, rp.regs, newBits)
+	}
+	v.reads = append(v.reads, rp.pendReads...)
+	v.steps = append(v.steps, wpStep{d: sd, actual: actual})
+	rp.idx = len(v.steps)
+	rp.steps = v.steps
+	sc.resizeLocked(v, sc.entries[segKey{pc: int32(rp.startPC), inSlice: rp.forkIn}])
+}
+
+func (rp *segReplayer) Dead() bool {
+	if rp.live != nil {
+		return rp.live.Dead()
+	}
+	if rp.dead {
+		return true
+	}
+	return false
+}
+
+func (rp *segReplayer) NextPC() int {
+	if rp.live != nil {
+		return rp.live.NextPC()
+	}
+	if rp.idx == 0 {
+		return rp.startPC
+	}
+	return rp.steps[rp.idx-1].d.NextPC
+}
+
+func (rp *segReplayer) InSlice() bool {
+	if rp.live != nil {
+		return rp.live.InSlice()
+	}
+	if rp.idx == 0 {
+		return rp.forkIn
+	}
+	return wpPostInSlice(&rp.steps[rp.idx-1].d)
+}

@@ -76,10 +76,23 @@ func TestRunnerTraceSweep(t *testing.T) {
 		t.Fatalf("emulator ran %d times for %d simulations; want >= 2x reduction",
 			emuExecs, st.Simulated)
 	}
+	// The distinct configurations of one workload ran as a single batch
+	// group sharing the trace decode and the wrong-path segment cache.
+	if st.Batched != len(sweep) || st.BatchGroups != 1 {
+		t.Fatalf("batch accounting: %+v; want Batched=%d BatchGroups=1", st, len(sweep))
+	}
+	if h := r.BatchHistogram(); h[len(sweep)] != 1 || len(h) != 1 {
+		t.Fatalf("batch histogram %v; want {%d:1}", h, len(sweep))
+	}
+	if st.SegMisses == 0 || st.SegHits == 0 {
+		t.Fatalf("segment cache never exercised across lanes: %+v", st)
+	}
 
+	// The whole group fetched its trace through one singleflight call, so
+	// the trace cache records a single miss and no per-lane re-requests.
 	cs := r.CacheStats()
-	if cs.Trace.Misses != 1 || cs.Trace.Hits+cs.Trace.Joined != int64(len(sweep)-1) {
-		t.Fatalf("trace cache: %+v; want 1 miss, %d hits+joined", cs.Trace, len(sweep)-1)
+	if cs.Trace.Misses != 1 || cs.Trace.Hits+cs.Trace.Joined != 0 {
+		t.Fatalf("trace cache: %+v; want 1 miss, 0 hits+joined", cs.Trace)
 	}
 	if cs.Trace.Entries != 1 || cs.Trace.Bytes <= 0 {
 		t.Fatalf("trace cache resident set: %+v", cs.Trace)
@@ -121,6 +134,9 @@ func TestRunnerCapturePolicy(t *testing.T) {
 		}
 		st := r.Stats()
 		st.Cached, st.InFlight = 0, 0
+		// Segment-cache counters are a property of the replays' wrong-path
+		// forks, not of the capture policy under test here.
+		st.SegHits, st.SegMisses, st.SegInvalidated = 0, 0, 0
 		if st != want[i] {
 			t.Fatalf("after run %d: %+v, want %+v", i, st, want[i])
 		}
@@ -153,5 +169,46 @@ func TestTraceKeyVersioned(t *testing.T) {
 	k := Options{Benchmark: "bfs"}.TraceKey()
 	if !strings.HasPrefix(k, "trace/v") {
 		t.Fatalf("TraceKey %q lacks the version stamp", k)
+	}
+}
+
+// TestBatchedSweepMatchesSerialReplay pins byte-identity at the API
+// layer: every lane of a batched Runner sweep must equal a serial
+// replayed run of the same options against an independently captured
+// trace with no segment cache attached — so the batch path (shared
+// decode ring, memoized wrong-path segments, lockstep scheduling) is
+// compared end to end against the plain live-shadow replay path.
+func TestBatchedSweepMatchesSerialReplay(t *testing.T) {
+	ctx := context.Background()
+	sweep := []Options{
+		{Benchmark: "cc", Scale: 6, Mode: SliceOuter},
+		{Benchmark: "cc", Scale: 6, Mode: SliceOuter, Predictor: "oracle"},
+		{Benchmark: "cc", Scale: 6, Mode: SliceOuter, FRQSize: 2},
+		{Benchmark: "cc", Scale: 6, Mode: SliceOuter, ROBBlockSize: 4},
+		{Benchmark: "cc", Scale: 6, Mode: SliceOuter, Reserve: 16},
+		{Benchmark: "cc", Scale: 6, Mode: SliceOuter, WrongPathMemAccess: true},
+	}
+	r := NewRunner(3)
+	res, err := r.RunAll(sweep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := r.Stats(); st.Batched != len(sweep) {
+		t.Fatalf("sweep did not take the batch path: %+v", st)
+	}
+
+	tr, err := captureTrace(ctx, sweep[0].normalized())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, o := range sweep {
+		want, err := runContext(ctx, o, tr)
+		if err != nil {
+			t.Fatalf("serial replay of sweep[%d]: %v", i, err)
+		}
+		if !reflect.DeepEqual(res[i], want) {
+			t.Errorf("batched sweep[%d] diverges from serial replay:\nserial %+v\nbatch  %+v",
+				i, want.Stats, res[i].Stats)
+		}
 	}
 }
