@@ -90,6 +90,15 @@ type Options struct {
 	// Predictor overrides the direction predictor ("tage" default;
 	// "oracle" gives the perfect-prediction bars of Figs. 4 and 11).
 	Predictor string
+	// Policy selects the misprediction-recovery policy: "selective" (the
+	// paper's mechanism), "conventional" (full flush), "partial:N" (flush
+	// only the N ROB entries nearest the branch, staged drain for the
+	// rest; "partial:inf" drains everything), or "throttle:C" (full flush
+	// plus single-slot fetch while a branch with predictor confidence
+	// below C is outstanding). Empty (or "auto") follows Mode, exactly as
+	// before this knob existed: selective when Mode places slices,
+	// conventional otherwise. A timing knob: excluded from TraceKey.
+	Policy string
 	// Reserve overrides the §4.7 resource reservation (0 = default 8;
 	// Zero for an explicit 0, i.e. no entries reserved). An explicit 0
 	// is accepted for baseline runs; combined with slicing the core
@@ -173,6 +182,18 @@ func (o Options) normalized() Options {
 	if o.WatchdogCycles == 0 {
 		o.WatchdogCycles = sim.DefaultWatchdogCycles
 	}
+	if sp, err := core.ParsePolicy(o.Policy); err == nil {
+		if sp.Kind == core.PolicyAuto {
+			if o.Mode != SliceNone {
+				sp.Kind = core.PolicySelective
+			} else {
+				sp.Kind = core.PolicyConventional
+			}
+		}
+		o.Policy = sp.String()
+	}
+	// An unparseable Policy passes through verbatim; runContext rejects
+	// it with the parser's error before building the workload.
 	return o
 }
 
@@ -267,6 +288,9 @@ func buildSpec(n Options) kernels.Spec {
 func runContext(ctx context.Context, o Options, tr *trace.Trace) (*Result, error) {
 	n := o.normalized()
 
+	if _, err := core.ParsePolicy(n.Policy); err != nil {
+		return nil, fmt.Errorf("blp: %s (%v): %w", o.Benchmark, o.Mode, err)
+	}
 	if err := ctx.Err(); err != nil {
 		return nil, fmt.Errorf("blp: %s (%v) canceled before build: %w", o.Benchmark, o.Mode, err)
 	}
@@ -293,6 +317,9 @@ func simConfig(ctx context.Context, n Options) sim.Config {
 	cfg.Cores = n.Cores
 	cfg.Core.SMT = n.SMT
 	cfg.Core.SelectiveFlush = n.Mode != SliceNone
+	if sp, err := core.ParsePolicy(n.Policy); err == nil {
+		cfg.Core.Recovery = sp
+	}
 	cfg.Core.WrongPathMemAccess = n.WrongPathMemAccess
 	cfg.CheckIndependence = n.CheckIndependence
 	cfg.Core.Predictor = n.Predictor

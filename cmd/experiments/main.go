@@ -34,7 +34,7 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("experiments: ")
 
-	fig := flag.String("fig", "all", "which experiment: table1, motivation, 4..11, or all")
+	fig := flag.String("fig", "all", "which experiment: table1, motivation, 4..11, policy, or all")
 	delta := flag.Int("delta", 0, "input-scale delta (negative = smaller/faster)")
 	cores := flag.Int("cores", 16, "core count for fig10")
 	sizeDelta := flag.Int("sizedelta", 3, "extra input-scale steps for fig10's multicore runs")
@@ -93,6 +93,7 @@ func main() {
 		{"9", func() (*blp.Figure, error) { return r.Fig9(*delta) }},
 		{"10", func() (*blp.Figure, error) { return r.Fig10(*delta, *cores, *sizeDelta) }},
 		{"11", func() (*blp.Figure, error) { return r.Fig11(*delta) }},
+		{"policy", func() (*blp.Figure, error) { return r.PolicyMatrix(*delta) }},
 	}
 
 	want := strings.Split(*fig, ",")

@@ -11,7 +11,12 @@
 //
 //	go run ./cmd/sfuzz -n 500 -seed 1
 //	go run ./cmd/sfuzz -n 200 -storm -out failures/
+//	go run ./cmd/sfuzz -n 500 -policy
 //	go run ./cmd/sfuzz -replay internal/fuzz/testdata/scenario-fence.json
+//
+// With -policy, every sample additionally draws a recovery policy
+// (conventional, partial:N, throttle:C) and runs the policy-equivalence
+// leg of the oracle against the same reference execution.
 //
 // Exit status is nonzero if any sample violated an oracle.
 package main
@@ -30,6 +35,7 @@ func main() {
 		n        = flag.Int("n", 200, "number of samples to run")
 		seed     = flag.Uint64("seed", 1, "base seed (sample i uses seed+i)")
 		storm    = flag.Bool("storm", false, "storm mode: tiny windows, slice/fence-dense programs")
+		policy   = flag.Bool("policy", false, "force a recovery policy on every sample (policy-equivalence leg)")
 		out      = flag.String("out", "sfuzz-failures", "directory for minimized repro files")
 		minimize = flag.Int("minimize", 400, "minimizer budget in oracle runs (0 disables)")
 		maxFail  = flag.Int("max-failures", 5, "stop after this many failing samples")
@@ -55,6 +61,9 @@ func main() {
 	failures := 0
 	for i := 0; i < *n; i++ {
 		s := fuzz.NewShape(*seed+uint64(i), *storm)
+		if *policy {
+			s.ForcePolicy()
+		}
 		v := fuzz.RunCase(fuzz.Render(s))
 		if *verbose && (i+1)%50 == 0 {
 			fmt.Printf("sfuzz: %d/%d samples, %d failure(s)\n", i+1, *n, failures)

@@ -615,3 +615,75 @@ func (r *Runner) Fig11(scaleDelta int) (*Figure, error) {
 	f.addNote(scaleNote(scaleDelta))
 	return f, nil
 }
+
+// PolicyMatrix compares the recovery-policy matrix (§4.2 and the
+// conventional-recovery alternatives it displaces) on every benchmark:
+// baseline IPC under conventional full-squash recovery, then speedups for
+// the paper's selective flush (at BestMode), a partial flush that squashes
+// only the 16 youngest victims and drains the rest, and a conventional
+// squash with fetch throttled below TAGE confidence 2. This is not a paper
+// figure — it is the repo's own ablation of what the selective mechanism
+// buys over cheaper recovery tweaks.
+func PolicyMatrix(scaleDelta int) (*Figure, error) {
+	return NewRunner(0).PolicyMatrix(scaleDelta)
+}
+
+// policyMatrixConfigs are the per-benchmark variants of the policy
+// figure, in column order. Selective resolves BestMode per benchmark.
+var policyMatrixConfigs = []struct {
+	key    string
+	policy string
+	best   bool
+}{
+	{"selective", "selective", true},
+	{"partial16", "partial:16", false},
+	{"throttle2", "throttle:2", false},
+}
+
+// PolicyMatrix is the Runner-backed form of the package-level PolicyMatrix.
+func (r *Runner) PolicyMatrix(scaleDelta int) (*Figure, error) {
+	f := &Figure{
+		ID:    "policy",
+		Title: "Recovery-policy matrix: speedup vs conventional full squash",
+		Table: stats.NewTable("bench", "baseIPC", "selective", "partial:16", "throttle:2"),
+	}
+	var reqs batch
+	for _, b := range Benchmarks {
+		sc := scaled(b, scaleDelta)
+		reqs.add("base/"+b, Options{Benchmark: b, Scale: sc})
+		for _, cfg := range policyMatrixConfigs {
+			mode := SliceNone
+			if cfg.best {
+				mode = BestMode(b)
+			}
+			reqs.add(cfg.key+"/"+b, Options{Benchmark: b, Scale: sc,
+				Mode: mode, Policy: cfg.policy})
+		}
+	}
+	if err := reqs.run(r); err != nil {
+		return nil, err
+	}
+	sums := map[string][]float64{}
+	for _, b := range Benchmarks {
+		base := reqs.get("base/" + b)
+		row := []any{b, base.IPC}
+		f.set("baseIPC/"+b, base.IPC)
+		for _, cfg := range policyMatrixConfigs {
+			sp := Speedup(base, reqs.get(cfg.key+"/"+b))
+			row = append(row, sp)
+			f.set(fmt.Sprintf("%s/%s", b, cfg.key), sp)
+			sums[cfg.key] = append(sums[cfg.key], sp)
+		}
+		f.Table.AddRow(row...)
+	}
+	hrow := []any{"hmean", ""}
+	for _, cfg := range policyMatrixConfigs {
+		hm := stats.HarmonicMeanSpeedup(sums[cfg.key])
+		hrow = append(hrow, hm)
+		f.set("hmean/"+cfg.key, hm)
+	}
+	f.Table.AddRow(hrow...)
+	f.Notes = "partial/throttle commit the same instructions as the baseline; only selective changes the fetch stream"
+	f.addNote(scaleNote(scaleDelta))
+	return f, nil
+}

@@ -39,6 +39,13 @@ type Predictor interface {
 type Pred struct {
 	Taken bool
 	Hist  uint64 // speculative global history at prediction time
+	// Conf is the predictor's confidence in this prediction on a 0..3
+	// scale (0 = lowest). TAGE reports the provider entry's usefulness
+	// counter; the counter-table predictors (and TAGE's base fallback)
+	// report 1 when the counter is saturated and 0 otherwise; the oracle
+	// reports 3 and static 0. Consumed by the throttle recovery policy's
+	// fetch gate.
+	Conf uint8
 
 	// TAGE fields (see tage.go).
 	provider int // table number of the providing component, -1 = base
@@ -108,7 +115,7 @@ type Oracle struct{}
 
 // Predict implements Predictor.
 func (*Oracle) Predict(_ uint64, actual bool) (bool, Pred) {
-	return actual, Pred{Taken: actual}
+	return actual, Pred{Taken: actual, Conf: 3}
 }
 
 // OnFetch implements Predictor.
@@ -133,8 +140,9 @@ func NewBimodal(bits uint) *Bimodal {
 
 // Predict implements Predictor.
 func (b *Bimodal) Predict(pc uint64, _ bool) (bool, Pred) {
-	t := b.ctr[pc&b.mask] >= 0
-	return t, Pred{Taken: t}
+	c := b.ctr[pc&b.mask]
+	t := c >= 0
+	return t, Pred{Taken: t, Conf: ctrConf(c, 2)}
 }
 
 // OnFetch implements Predictor.
@@ -170,8 +178,9 @@ func NewGshare(tableBits, histBits uint) *Gshare {
 // Predict implements Predictor.
 func (g *Gshare) Predict(pc uint64, _ bool) (bool, Pred) {
 	idx := (pc ^ (g.hist & (1<<g.histBits - 1))) & g.mask
-	t := g.ctr[idx] >= 0
-	return t, Pred{Taken: t, Hist: g.hist}
+	c := g.ctr[idx]
+	t := c >= 0
+	return t, Pred{Taken: t, Hist: g.hist, Conf: ctrConf(c, 2)}
 }
 
 // OnFetch implements Predictor.
@@ -193,6 +202,15 @@ func (g *Gshare) Name() string { return "gshare" }
 
 func b2u(b bool) uint64 {
 	if b {
+		return 1
+	}
+	return 0
+}
+
+// ctrConf maps a saturating counter to a confidence: 1 at either
+// saturation point, 0 for the weak middle states.
+func ctrConf(ctr int8, bits uint) uint8 {
+	if ctr == int8(1<<(bits-1))-1 || ctr == -int8(1<<(bits-1)) {
 		return 1
 	}
 	return 0

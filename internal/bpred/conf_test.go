@@ -1,0 +1,65 @@
+package bpred
+
+import "testing"
+
+// TestConfidenceScale pins the Pred.Conf contract the throttle recovery
+// policy relies on: a fresh predictor reports low confidence, a
+// well-trained one reports non-zero confidence, the oracle is always
+// certain, and static never is.
+func TestConfidenceScale(t *testing.T) {
+	// Oracle: maximal confidence, always.
+	if _, p := (&Oracle{}).Predict(4, true); p.Conf != 3 {
+		t.Fatalf("oracle Conf = %d, want 3", p.Conf)
+	}
+	// Static: no confidence, ever.
+	if _, p := (Static{}).Predict(4, false); p.Conf != 0 {
+		t.Fatalf("static Conf = %d, want 0", p.Conf)
+	}
+
+	// Counter predictors: a fresh table is weak (Conf 0); saturating it
+	// on a biased branch raises Conf to 1.
+	for _, tc := range []struct {
+		name string
+		p    Predictor
+	}{
+		{"bimodal", NewBimodal(12)},
+		{"gshare", NewGshare(14, 12)},
+	} {
+		_, pr := tc.p.Predict(100, true)
+		if pr.Conf != 0 {
+			t.Fatalf("%s: fresh Conf = %d, want 0", tc.name, pr.Conf)
+		}
+		for i := 0; i < 64; i++ {
+			_, tok := tc.p.Predict(100, true)
+			tc.p.OnFetch(true)
+			tc.p.Resolve(tok, 100, true, true)
+		}
+		if _, pr := tc.p.Predict(100, true); pr.Conf != 1 {
+			t.Fatalf("%s: trained Conf = %d, want 1", tc.name, pr.Conf)
+		}
+	}
+
+	// TAGE: base fallback follows the saturation rule; once a provider
+	// entry earns usefulness on a history-dependent branch, Conf tracks
+	// its u counter into the 0..3 range.
+	tg := NewTAGE()
+	if _, pr := tg.Predict(100, true); pr.Conf != 0 {
+		t.Fatalf("tage: fresh Conf = %d, want 0", pr.Conf)
+	}
+	maxConf := uint8(0)
+	for i := 0; i < 20000; i++ {
+		actual := i%7 != 6 // fixed-trip loop: pure history signal
+		pred, tok := tg.Predict(100, actual)
+		tg.OnFetch(pred)
+		tg.Resolve(tok, 100, actual, true)
+		if _, pr := tg.Predict(100, actual); pr.Conf > maxConf {
+			maxConf = pr.Conf
+		}
+	}
+	if maxConf == 0 {
+		t.Fatal("tage: confidence never rose above 0 on a learnable loop")
+	}
+	if maxConf > 3 {
+		t.Fatalf("tage: Conf %d exceeds the u-bit ceiling of 3", maxConf)
+	}
+}

@@ -101,6 +101,7 @@ func (t *TAGE) Predict(pc uint64, _ bool) (bool, Pred) {
 	if p.provider >= 0 {
 		e := t.tables[p.provider][p.idx[p.provider]]
 		p.provPred = e.ctr >= 0
+		p.Conf = e.u
 		if alt >= 0 {
 			p.altPred = t.tables[alt][p.idx[alt]].ctr >= 0
 		} else {
@@ -110,6 +111,7 @@ func (t *TAGE) Predict(pc uint64, _ bool) (bool, Pred) {
 	} else {
 		p.altPred = basePred
 		p.Taken = basePred
+		p.Conf = ctrConf(t.base[p.baseIdx], 2)
 	}
 	return p.Taken, p
 }

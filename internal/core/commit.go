@@ -39,6 +39,11 @@ func (c *Core) commitThread(t *thread, max int) int {
 			// nothing behind it may retire.
 			break
 		}
+		if u.drainHold {
+			// Boundary branch of a partial flush: parked victims are
+			// still draining behind it.
+			break
+		}
 		if u.state != stDone || u.doneAt > c.now {
 			break
 		}

@@ -40,6 +40,12 @@ type Config struct {
 	// SelectiveFlush enables the paper's mechanism. When false the core
 	// recovers every misprediction with a conventional full flush.
 	SelectiveFlush bool
+	// Recovery selects the misprediction-recovery policy explicitly (see
+	// policy.go). The zero value (PolicyAuto) follows SelectiveFlush:
+	// selective when it is set, conventional otherwise — so existing
+	// configurations behave exactly as before. Setting a non-auto kind
+	// overrides SelectiveFlush.
+	Recovery PolicySpec
 	// Reserve is the number of RS/LQ/SQ (and ROB) entries reserved for
 	// resolve-path dispatch while in-slice instructions are in flight
 	// (§4.7; Fig. 7 sweeps 1..32, default 8).
@@ -139,7 +145,10 @@ func (c Config) Validate() error {
 	if c.Reserve < 0 || c.Reserve >= c.RS || c.Reserve >= c.LQ || c.Reserve >= c.SQ {
 		return fmt.Errorf("core: Reserve %d out of range", c.Reserve)
 	}
-	if c.SelectiveFlush && c.Reserve == 0 {
+	if err := c.Recovery.Validate(); err != nil {
+		return err
+	}
+	if c.Recovery.effective(c.SelectiveFlush).Kind == PolicySelective && c.Reserve == 0 {
 		// §4.7's reservation is the forward-progress guarantee: with no
 		// entries held back, regular fetch packs the RS/LQ/SQ with
 		// instructions that cannot complete until the resolve path of an

@@ -24,6 +24,18 @@ type Core struct {
 
 	threads []*thread
 
+	// policy is the configured mispredict-recovery policy (policy.go).
+	// selEligible caches policy.SelectiveEligible() for the fetch and
+	// dispatch hot paths; polFetch caches the optional fetchHooks
+	// assertion (nil for policies without fetch-side behavior, so the
+	// legacy policies pay one nil check); draining counts threads with a
+	// staged partial flush in progress (drainStep runs only then, and
+	// NextWake must not fast-forward over it).
+	policy      RecoveryPolicy
+	selEligible bool
+	polFetch    fetchHooks
+	draining    int
+
 	space  *rob.Space
 	rsUsed int
 	lqUsed int
@@ -84,15 +96,22 @@ func NewCoreFrontends(id int, cfg Config, hier *cache.Hierarchy, fes []emu.Front
 	if len(fes) != cfg.SMT {
 		return nil, fmt.Errorf("core: %d frontends for SMT%d", len(fes), cfg.SMT)
 	}
+	pol, err := newPolicy(&cfg)
+	if err != nil {
+		return nil, err
+	}
 	c := &Core{
 		cfg:      cfg,
 		id:       id,
 		hier:     hier,
 		rec:      cfg.Recorder,
+		policy:   pol,
 		space:    rob.NewSpace(cfg.ROBSize, cfg.ROBBlockSize),
 		traceOn:  cfg.Trace != nil,
 		forceCyc: cfg.ForceCycleAccurate,
 	}
+	c.selEligible = pol.SelectiveEligible()
+	c.polFetch, _ = pol.(fetchHooks)
 	for i, fe := range fes {
 		c.threads = append(c.threads, newThread(i, c, fe))
 	}
@@ -141,6 +160,9 @@ func (c *Core) Cycle(now int64) {
 	c.activity = false
 
 	c.complete()
+	if c.draining > 0 {
+		c.drainStep()
+	}
 	c.commit()
 	c.issue()
 	c.dispatch()
@@ -211,7 +233,7 @@ const farFuture = int64(1) << 62
 // core is deadlocked, and the watchdog cap makes the driver tick through
 // to the firing cycle exactly as the per-cycle loop would.
 func (c *Core) NextWake() int64 {
-	if c.activity || len(c.readyQ) > 0 {
+	if c.activity || c.draining > 0 || len(c.readyQ) > 0 {
 		return c.now + 1
 	}
 	for _, e := range c.specials {

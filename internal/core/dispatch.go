@@ -177,7 +177,7 @@ func (c *Core) tryDispatch(t *thread, u *uop, oldestHole uint64) bool {
 	// ROB or any hole (resolved or pending miss) exists: segments still
 	// to be spliced will need the reserved entries even after a fence
 	// let post-region code proceed.
-	active := c.cfg.SelectiveFlush &&
+	active := c.selEligible &&
 		(c.inSliceCount > 0 || t.pendingMisses > 0 || oldestHole != ^uint64(0))
 	reserve := 0
 	if active && !u.resolvePath {

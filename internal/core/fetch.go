@@ -65,7 +65,11 @@ func (c *Core) iCacheCheck(t *thread, pc int) bool {
 // current source, in priority order: resolve path (FRQ head), wrong path
 // (shadow), regular trace.
 func (c *Core) fetchThread(t *thread) {
-	for used := 0; used < c.cfg.FetchWidth; used++ {
+	width := c.cfg.FetchWidth
+	if c.polFetch != nil {
+		width = c.polFetch.FetchWidth(c, t)
+	}
+	for used := 0; used < width; used++ {
 		// The resolve stream has its own unbounded frontend channel so
 		// that blocked regular instructions can never stop a correct
 		// path from entering the ROB (the role of the §4.7 front-end
@@ -132,6 +136,9 @@ func (c *Core) predictBranch(t *thread, u *uop) (mispred, stop bool) {
 	t.pred.OnFetch(predTaken)
 	u.pred = p
 	u.predTaken = predTaken
+	if c.polFetch != nil {
+		c.polFetch.OnFetchBranch(c, t, u)
+	}
 	if predTaken {
 		stop = true
 		if _, hit := t.btb.Lookup(uint64(d.PC)); !hit {
@@ -205,7 +212,7 @@ func (c *Core) fetchNormal(t *thread) bool {
 	// Gate on total outstanding selective recoveries (detected-but-
 	// unresolved plus FRQ-queued) so the resolution-time FRQ push can
 	// never overflow; an over-limit miss recovers conventionally (§4.8).
-	selective := c.cfg.SelectiveFlush && d.InSlice &&
+	selective := c.selEligible && d.InSlice &&
 		t.pendingMisses+t.fq.Len() < c.cfg.FRQSize
 	wrongPC := d.PC + 1
 	if u.predTaken {
@@ -293,7 +300,7 @@ func (c *Core) fetchResolve(t *thread) bool {
 			// other pending misses or the regular stream) while the
 			// nested branch resolves. Wrong-path fetch for nested
 			// misses is not modeled (see DESIGN.md).
-			if c.cfg.SelectiveFlush && d.InSlice &&
+			if c.selEligible && d.InSlice &&
 				t.pendingMisses+t.fq.Len() < c.cfg.FRQSize {
 				child := &missInfo{
 					branch:    u,

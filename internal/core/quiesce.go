@@ -31,6 +31,9 @@ func (c *Core) CheckQuiescent() error {
 	if c.inSliceCount != 0 {
 		return fmt.Errorf("core %d: inSliceCount=%d at quiesce", c.id, c.inSliceCount)
 	}
+	if c.draining != 0 {
+		return fmt.Errorf("core %d: %d partial-flush drains outstanding at quiesce", c.id, c.draining)
+	}
 	for _, t := range c.threads {
 		if n := t.list.Len(); n != 0 {
 			return fmt.Errorf("core %d t%d: %d uops still linked in the ROB", c.id, t.id, n)
@@ -46,6 +49,12 @@ func (c *Core) CheckQuiescent() error {
 		}
 		if t.inflight != 0 {
 			return fmt.Errorf("core %d t%d: inflight=%d at quiesce", c.id, t.id, t.inflight)
+		}
+		if n := t.drainLen(); n != 0 {
+			return fmt.Errorf("core %d t%d: %d partial-flush victims still parked", c.id, t.id, n)
+		}
+		if t.lowConfOut != 0 {
+			return fmt.Errorf("core %d t%d: lowConfOut=%d at quiesce", c.id, t.id, t.lowConfOut)
 		}
 		if n := len(t.stores); n != 0 {
 			return fmt.Errorf("core %d t%d: %d stores still in the forwarding list", c.id, t.id, n)

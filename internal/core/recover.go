@@ -4,9 +4,13 @@ import "repro/internal/flight"
 
 // resolveBranch handles execution-time resolution of a correct-path
 // conditional branch: predictor training, and — for mispredictions —
-// either the selective flush of §4.2 or a conventional full flush.
+// either the selective flush of §4.2 or the configured recovery
+// policy's full-squash repair.
 func (c *Core) resolveBranch(u *uop) {
 	t := u.t
+	if c.polFetch != nil {
+		c.polFetch.OnBranchResolved(c, t, u)
+	}
 
 	if !u.mispred {
 		t.pred.Resolve(u.pred, uint64(u.d.PC), u.d.Taken, true)
@@ -28,7 +32,7 @@ func (c *Core) resolveBranch(u *uop) {
 		}
 		t.fetchStallUntil = maxi64(t.fetchStallUntil, c.now+1)
 	default:
-		c.resolveConventional(t, u)
+		c.policy.Recover(c, t, u)
 	}
 }
 
@@ -169,7 +173,10 @@ func (c *Core) conventionalFlush(t *thread, u *uop) {
 	if c.rec != nil {
 		c.recordMechanism(flight.EvRecoverFull, t, u, int64(len(victims)))
 	}
-	for _, n := range victims {
+	for i, n := range victims {
+		if faultMode != FaultNone && i == 0 && c.faultFullFlushVictim(t, u, n) {
+			continue
+		}
 		c.releaseFlushed(t, n.Val)
 	}
 	c.stats.FlushedFull += uint64(len(victims))
@@ -177,7 +184,43 @@ func (c *Core) conventionalFlush(t *thread, u *uop) {
 	// 2. Flush the frontend: wrong-path uops, regular uops younger than
 	// the branch, and resolve-path uops of cancelled misses. Resolve-
 	// path uops of older misses survive.
-	branchSeq := u.d.Seq
+	c.flushFrontendYounger(t, u.d.Seq)
+
+	// 3. Cancel pending misses whose branch was flushed, then squash
+	// them from the FRQ. (The cancel flag is authoritative: the branch
+	// uop pointer must not be consulted after it can be recycled.)
+	for i, n := range victims {
+		if faultMode == FaultSkipUnlink && i == 0 {
+			continue // the re-linked victim stays live (injected bug)
+		}
+		v := n.Val
+		c.cancelVictimMiss(t, v)
+		c.freeUop(v)
+	}
+	t.fq.Squash(func(mi *missInfo) bool { return mi.cancelled })
+	if t.pendingMisses == 0 {
+		t.fenceStall = false
+	}
+	t.startNextResolve()
+
+	// 4. Rename table back to the branch checkpoint. References to
+	// flushed or recycled producers resolve as ready automatically.
+	if u.ck != nil {
+		t.rt.Restore(*u.ck)
+		u.ck = nil
+	} else if u.miss != nil && u.miss.ckValid {
+		t.rt.Restore(u.miss.ck)
+	}
+
+	// 5. Reset fetch to the trace.
+	c.resetFetchAfterFlush(t)
+}
+
+// flushFrontendYounger drops every frontend uop logically younger than
+// branchSeq (wrong-path uops, younger regular uops, resolve-path uops of
+// cancelled misses) and prunes the resolve channels the same way —
+// step 2 of every full-squash recovery.
+func (c *Core) flushFrontendYounger(t *thread, branchSeq uint64) {
 	fe := t.frontend[:0]
 	for _, w := range t.frontend {
 		drop := false
@@ -222,40 +265,26 @@ func (c *Core) conventionalFlush(t *thread, u *uop) {
 		rms = append(rms, mi)
 	}
 	t.resolveMisses = rms
+}
 
-	// 3. Cancel pending misses whose branch was flushed, then squash
-	// them from the FRQ. (The cancel flag is authoritative: the branch
-	// uop pointer must not be consulted after it can be recycled.)
-	for _, n := range victims {
-		v := n.Val
-		if v.miss != nil && !v.miss.cancelled {
-			if !v.miss.resolved {
-				t.pendingMisses--
-			}
-			v.miss.cancelled = true
-			c.releaseSeg(v.miss)
+// cancelVictimMiss cancels a flushed victim's pending in-slice miss, if
+// any — the per-victim half of step 3 of a full-squash recovery.
+func (c *Core) cancelVictimMiss(t *thread, v *uop) {
+	if v.miss != nil && !v.miss.cancelled {
+		if !v.miss.resolved {
+			t.pendingMisses--
 		}
-		c.freeUop(v)
+		v.miss.cancelled = true
+		c.releaseSeg(v.miss)
 	}
-	t.fq.Squash(func(mi *missInfo) bool { return mi.cancelled })
-	if t.pendingMisses == 0 {
-		t.fenceStall = false
-	}
-	t.startNextResolve()
+}
 
-	// 4. Rename table back to the branch checkpoint. References to
-	// flushed or recycled producers resolve as ready automatically.
-	if u.ck != nil {
-		t.rt.Restore(*u.ck)
-		u.ck = nil
-	} else if u.miss != nil && u.miss.ckValid {
-		t.rt.Restore(u.miss.ck)
-	}
-
-	// 5. Reset fetch to the trace. The machine's cursor stopped at the
-	// branch's correct-path successor when the miss was detected
-	// (conventional misses always divert fetch to the shadow), so
-	// regular fetch resumes exactly on the correct path.
+// resetFetchAfterFlush points fetch back at the trace — step 5 of every
+// full-squash recovery. The machine's cursor stopped at the branch's
+// correct-path successor when the miss was detected (non-selective
+// misses always divert fetch to the shadow), so regular fetch resumes
+// exactly on the correct path.
+func (c *Core) resetFetchAfterFlush(t *thread) {
 	t.shadow = nil
 	t.shadowMiss = nil
 	t.convMiss = nil
@@ -267,6 +296,126 @@ func (c *Core) conventionalFlush(t *thread, u *uop) {
 	t.redirectUntil = c.now + 1 + int64(c.cfg.FrontendDepth)
 	t.fetchStallUntil = maxi64(t.fetchStallUntil, c.now+1)
 	t.lastILine = -1
+}
+
+// partialFlush is conventionalFlush with the victim release staged: the
+// depth victims nearest the branch leave the window at resolution, the
+// rest at depth per cycle (drainStep), modeling a squash walker that
+// reclaims a bounded number of entries per cycle. The branch stays at
+// the commit head as the order boundary (drainHold) until the drain
+// completes; frontend, miss, rename, and fetch repair are not staged —
+// they happen at resolution exactly as in a conventional flush. Callers
+// guarantee len(victims) > depth >= 1.
+func (c *Core) partialFlush(t *thread, u *uop, depth int) {
+	c.stats.ConvRecoveries++
+	if c.traceOn {
+		c.trace("RECOVER-PART t%d %s depth=%d", t.id, traceUop(u), depth)
+	}
+
+	victims := t.list.RemoveRangeAfter(&u.node)
+	if c.rec != nil {
+		c.recordMechanism(flight.EvRecoverFull, t, u, int64(len(victims)))
+	}
+	for i := 0; i < depth; i++ {
+		if faultMode != FaultNone && i == 0 && c.faultFullFlushVictim(t, u, victims[i]) {
+			continue
+		}
+		c.releaseFlushed(t, victims[i].Val)
+	}
+	c.stats.FlushedFull += uint64(len(victims))
+
+	c.flushFrontendYounger(t, u.d.Seq)
+
+	// Miss cancellation is not staged: a parked victim's FRQ entry must
+	// squash now, before startNextResolve picks a resolve target. Only
+	// the released prefix is freed; parked victims stay live (they may
+	// still issue and complete while draining) and are freed as the
+	// drain releases them.
+	for i, n := range victims {
+		c.cancelVictimMiss(t, n.Val)
+		if i < depth {
+			if faultMode == FaultSkipUnlink && i == 0 {
+				continue // the re-linked victim stays live (injected bug)
+			}
+			c.freeUop(n.Val)
+		}
+	}
+	t.fq.Squash(func(mi *missInfo) bool { return mi.cancelled })
+	if t.pendingMisses == 0 {
+		t.fenceStall = false
+	}
+	t.startNextResolve()
+
+	if u.ck != nil {
+		t.rt.Restore(*u.ck)
+		u.ck = nil
+	} else if u.miss != nil && u.miss.ckValid {
+		t.rt.Restore(u.miss.ck)
+	}
+
+	c.resetFetchAfterFlush(t)
+
+	// Park the remainder oldest-first and hold the branch at commit as
+	// the order boundary until the walker catches up.
+	for _, n := range victims[depth:] {
+		t.drainQ = append(t.drainQ, n.Val)
+	}
+	u.drainHold = true
+	t.drainBoundary = u
+	t.drainBoundaryID = u.id
+	t.drainDepth = depth
+	c.draining++
+}
+
+// drainStep advances every in-progress staged flush by one cycle,
+// releasing up to the flush's depth of parked victims per thread; when a
+// queue empties, its boundary branch is released to commit. Runs right
+// after complete (like flushes themselves), so freed resources are
+// visible to dispatch the same cycle.
+func (c *Core) drainStep() {
+	for _, t := range c.threads {
+		n := t.drainLen()
+		if n == 0 {
+			continue
+		}
+		k := t.drainDepth
+		if k > n {
+			k = n
+		}
+		for i := 0; i < k; i++ {
+			w := t.drainQ[t.drainHead+i]
+			t.drainQ[t.drainHead+i] = nil
+			c.releaseFlushed(t, w)
+			c.freeUop(w)
+		}
+		t.drainHead += k
+		c.stats.DrainCycles++
+		c.activity = true
+		if t.drainLen() == 0 {
+			c.endDrain(t)
+		}
+	}
+}
+
+// finishDrain releases a thread's remaining parked victims at once (a
+// new recovery supersedes the drain in progress).
+func (c *Core) finishDrain(t *thread) {
+	for _, w := range t.drainQ[t.drainHead:] {
+		c.releaseFlushed(t, w)
+		c.freeUop(w)
+	}
+	c.endDrain(t)
+}
+
+// endDrain clears a completed drain: the boundary branch may commit.
+func (c *Core) endDrain(t *thread) {
+	if b := t.drainBoundary; b != nil && b.id == t.drainBoundaryID {
+		b.drainHold = false
+	}
+	t.drainBoundary = nil
+	t.drainQ = t.drainQ[:0]
+	t.drainHead = 0
+	c.draining--
 }
 
 // flushUop removes one dispatched uop from the window (selective flush).

@@ -93,6 +93,11 @@ func (c *Core) classifyStall(t *thread, head *uop) stallCause {
 	if head.spliceHold != nil && !head.spliceHold.segDispatched && !head.spliceHold.cancelled {
 		return stallBranch
 	}
+	// The boundary branch of a partial flush holding commit while the
+	// parked victims drain: misprediction-recovery time.
+	if head.drainHold {
+		return stallBranch
+	}
 	switch head.state {
 	case stIssued:
 		switch head.d.Inst.Op.Class() {

@@ -35,6 +35,12 @@ type Stats struct {
 	// FRQPeak is the maximum fetch redirect queue occupancy observed.
 	FRQPeak int
 
+	// Recovery-policy diagnostics: cycles spent draining parked victims
+	// of a partial flush, and cycles the throttle policy narrowed fetch
+	// to one slot because a low-confidence branch was outstanding.
+	DrainCycles     uint64
+	ThrottledCycles uint64
+
 	// Uop conservation counters (the differential-fuzz oracle): every uop
 	// created by fetch must end committed, squashed after entering the
 	// window, or discarded while still in the frontend (slice markers,
@@ -117,6 +123,8 @@ func (s *Stats) Add(o *Stats) {
 	if o.FRQPeak > s.FRQPeak {
 		s.FRQPeak = o.FRQPeak
 	}
+	s.DrainCycles += o.DrainCycles
+	s.ThrottledCycles += o.ThrottledCycles
 	s.UopsFetched += o.UopsFetched
 	s.UopsSquashed += o.UopsSquashed
 	s.UopsFEDiscarded += o.UopsFEDiscarded

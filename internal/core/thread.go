@@ -81,7 +81,24 @@ type thread struct {
 	lastILine       int
 
 	stores []*uop // in-flight correct-path stores, program order
+
+	// Staged-drain state for the partial policy: victims beyond the flush
+	// depth are parked here at resolution and released drainDepth per
+	// cycle, oldest first (drainQ[drainHead:] is the live window). The
+	// boundary branch holds commit (uop.drainHold) until the drain ends.
+	drainQ          []*uop
+	drainHead       int
+	drainDepth      int
+	drainBoundary   *uop
+	drainBoundaryID uint64
+
+	// lowConfOut counts fetched-but-unresolved low-confidence branches for
+	// the throttle policy's fetch gate.
+	lowConfOut int
 }
+
+// drainLen returns the number of parked victims not yet released.
+func (t *thread) drainLen() int { return len(t.drainQ) - t.drainHead }
 
 func newThread(id int, c *Core, m emu.Frontend) *thread {
 	t := &thread{

@@ -90,6 +90,13 @@ type uop struct {
 	// freed, stats counted) but stays linked as the order boundary
 	// until the next resolve-path instruction is spliced after it.
 	tombstone bool
+	// lowConf marks a fetched conditional branch the throttle policy
+	// counted as low-confidence; cleared (and the thread's lowConfOut
+	// decremented) when the branch resolves or the uop is freed.
+	lowConf bool
+	// drainHold marks the boundary branch of a partial flush: it must not
+	// commit while parked victims are still draining behind it.
+	drainHold bool
 }
 
 // depRef is a validity-checked reference to a producing uop: if the uop
@@ -297,6 +304,10 @@ func (c *Core) freeUop(u *uop) {
 		c.stats.UopsFEDiscarded++
 	case stFlushed:
 		c.stats.UopsSquashed++
+	}
+	if u.lowConf {
+		u.lowConf = false
+		u.t.lowConfOut--
 	}
 	u.miss = nil
 	u.t = nil

@@ -44,6 +44,15 @@ type CaseConfig struct {
 
 	Predictor          string `json:"predictor"`
 	WrongPathMemAccess bool   `json:"wpMem"`
+
+	// Policy, when non-empty, arms the policy-equivalence oracle leg:
+	// RunCase additionally runs this recovery policy (core.ParsePolicy
+	// spelling) through the memory/commit/quiescence oracles, checks its
+	// event-driven and cycle-accurate runs agree, and — for the
+	// degenerate parameterizations — demands byte-identity with the
+	// legacy legs. Empty (the default, and every pre-policy repro file)
+	// changes nothing.
+	Policy string `json:"policy,omitempty"`
 }
 
 // Case is one concrete fuzz sample: the programs (one per hardware
@@ -57,7 +66,10 @@ type Case struct {
 	Mem   []byte
 }
 
-// simConfig builds the sim configuration for one oracle variant.
+// simConfig builds the sim configuration for one legacy oracle variant.
+// It deliberately ignores cc.Policy: the sel/ca/conv legs must keep
+// running the exact machines they always ran (policySimConfig builds the
+// policy leg's).
 func (cc CaseConfig) simConfig(selective, cycleAccurate bool) sim.Config {
 	c := core.DefaultConfig()
 	c.ROBSize = cc.ROBSize
@@ -88,6 +100,17 @@ func (cc CaseConfig) simConfig(selective, cycleAccurate bool) sim.Config {
 		WatchdogCycles:    100_000,
 		CheckIndependence: true,
 	}
+}
+
+// policySimConfig builds the sim configuration for the policy-equivalence
+// leg: the sampled machine with an explicit recovery policy. The legacy
+// SelectiveFlush switch is set iff the policy is selective, so the
+// degenerate spellings ("selective", "conventional") configure machines
+// identical to the legacy legs.
+func (cc CaseConfig) policySimConfig(spec core.PolicySpec, cycleAccurate bool) sim.Config {
+	c := cc.simConfig(spec.Kind == core.PolicySelective, cycleAccurate)
+	c.Core.Recovery = spec
+	return c
 }
 
 // JSON wire format for repro files.

@@ -1,6 +1,8 @@
 package fuzz
 
 import (
+	"fmt"
+
 	"repro/internal/graph"
 )
 
@@ -168,5 +170,44 @@ func sampleConfig(rng *graph.RNG, storm bool) CaseConfig {
 		"gshare", "bimodal", "bimodal", "static"}
 	cc.Predictor = preds[rng.Intn(len(preds))]
 	cc.WrongPathMemAccess = rng.Intn(2) == 1
+
+	// Policy leg: roughly half of all samples additionally exercise a
+	// random recovery policy (drawn last so the draws above keep their
+	// per-seed values).
+	if rng.Intn(2) == 1 {
+		cc.Policy = samplePolicy(rng, cc.ROBSize)
+	}
 	return cc
+}
+
+// samplePolicy draws a random explicit recovery-policy spelling for a
+// machine with the given ROB size. Partial depths cover 1..ROB with an
+// occasional "inf"; throttle draws every threshold, including the
+// degenerate 0 (whose byte-identity with the conv leg is itself an
+// oracle).
+func samplePolicy(rng *graph.RNG, robSize int) string {
+	switch w := rng.Intn(10); {
+	case w < 1:
+		return "selective"
+	case w < 3:
+		return "conventional"
+	case w < 7:
+		if rng.Intn(8) == 0 {
+			return "partial:inf"
+		}
+		return fmt.Sprintf("partial:%d", 1+rng.Intn(robSize))
+	default:
+		return fmt.Sprintf("throttle:%d", rng.Intn(5))
+	}
+}
+
+// ForcePolicy ensures the shape's configuration carries an explicit
+// recovery policy (the sfuzz -policy batch mode), drawing one from a
+// seed-derived stream when the sampler left it empty.
+func (s *Shape) ForcePolicy() {
+	if s.Cfg.Policy != "" {
+		return
+	}
+	rng := graph.NewRNG(s.Seed*0x9e3779b97f4a7c15 + 0x7f4a7c159e3779b9)
+	s.Cfg.Policy = samplePolicy(rng, s.Cfg.ROBSize)
 }

@@ -101,6 +101,9 @@ func runSim(c *Case, selective, cycleAccurate bool) (res *sim.Result, mem []byte
 //	batch     the sel/ca/conv variants re-run as lanes of one batched
 //	          replay: a shared trace decode ring and a shared wrong-path
 //	          segment cache (single-threaded cases only)
+//	policy    when Cfg.Policy is set: the sampled recovery policy run
+//	          event-driven and cycle-accurate (the seventh leg; see
+//	          RunPolicy)
 //
 // Oracles: every sim variant must finish (no watchdog hang, no panic, and
 // — via the always-on quiescence check inside sim.Run — no leaked ROB/RS/
@@ -151,6 +154,15 @@ func RunCase(c *Case) *Violation {
 		return violationf("ca-equiv",
 			"%s: event-driven and cycle-accurate selective runs diverge: %s",
 			c.Name, diffResults(results["sel"], results["ca"]))
+	}
+
+	// PR9's guarantee: every recovery policy passes the same oracles, and
+	// the degenerate parameterizations are byte-identical to the legacy
+	// legs.
+	if c.Cfg.Policy != "" {
+		if v := RunPolicy(c, refMem, wantCommits, results); v != nil {
+			return v
+		}
 	}
 
 	// PR6's guarantee: a trace-replayed run is indistinguishable from a

@@ -25,7 +25,11 @@ import (
 // invalidated, and bypassed — forks after a trace's cache disabled its
 // own recording), and batch_group_sizes (histogram of lanes per batch,
 // keyed by size).
-const SchemaVersion = 4
+//
+// v5: RunRequest gained policy (the recovery-policy selector), and
+// ResultJSON's stats gained the policy diagnostics DrainCycles and
+// ThrottledCycles.
+const SchemaVersion = 5
 
 // Zero is the wire spelling of blp.Zero: integer options whose zero
 // value means "default" accept -1 to request an explicit 0.
@@ -47,6 +51,7 @@ type RunRequest struct {
 	SMT   int `json:"smt,omitempty"`
 
 	Predictor    string `json:"predictor,omitempty"`
+	Policy       string `json:"policy,omitempty"` // "", "auto", "selective", "conventional", "partial[:N|:inf]", "throttle[:C]"
 	Reserve      int    `json:"reserve,omitempty"`
 	ROBBlockSize int    `json:"rob_block_size,omitempty"`
 	FRQSize      int    `json:"frq_size,omitempty"`
@@ -104,6 +109,11 @@ func (rq RunRequest) Options() (blp.Options, error) {
 	default:
 		return o, fmt.Errorf("unknown predictor %q (tage or oracle)", rq.Predictor)
 	}
+	if sp, err := core.ParsePolicy(rq.Policy); err != nil {
+		return o, err
+	} else if err := sp.Validate(); err != nil {
+		return o, err
+	}
 	for name, v := range map[string]int{
 		"reserve": rq.Reserve, "rob_block_size": rq.ROBBlockSize,
 		"frq_size": rq.FRQSize, "pr_iters": rq.PRIters,
@@ -124,6 +134,7 @@ func (rq RunRequest) Options() (blp.Options, error) {
 		Cores:              rq.Cores,
 		SMT:                rq.SMT,
 		Predictor:          rq.Predictor,
+		Policy:             rq.Policy,
 		Reserve:            rq.Reserve,
 		ROBBlockSize:       rq.ROBBlockSize,
 		FRQSize:            rq.FRQSize,

@@ -122,6 +122,55 @@ func TestRunEndpoint(t *testing.T) {
 	}
 }
 
+// TestRunPolicyEndpoint drives the recovery-policy matrix over the wire:
+// each policy string is a distinct timing configuration (own key, own
+// simulation) of the same captured workload, and the policy-specific
+// counters surface in the returned stats.
+func TestRunPolicyEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+
+	run := func(body string) RunResponse {
+		t.Helper()
+		resp := postJSON(t, ts.URL+"/v1/run", body)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("status %d for %s", resp.StatusCode, body)
+		}
+		var rr RunResponse
+		decodeInto(t, resp, &rr)
+		if rr.Result == nil || rr.Result.Cycles <= 0 || rr.Result.Stats.Committed == 0 {
+			t.Fatalf("implausible result for %s: %+v", body, rr.Result)
+		}
+		return rr
+	}
+
+	base := run(`{"benchmark":"cc","scale":6}`)
+	part := run(`{"benchmark":"cc","scale":6,"policy":"partial:8"}`)
+	thr := run(`{"benchmark":"cc","scale":6,"policy":"throttle:4"}`)
+
+	if part.Key == base.Key || thr.Key == base.Key || part.Key == thr.Key {
+		t.Fatalf("policies did not get distinct cache keys:\n%s\n%s\n%s",
+			base.Key, part.Key, thr.Key)
+	}
+	if part.Result.Stats.Committed != base.Result.Stats.Committed ||
+		thr.Result.Stats.Committed != base.Result.Stats.Committed {
+		t.Fatal("a recovery policy changed the committed instruction count")
+	}
+	if part.Result.Stats.DrainCycles == 0 {
+		t.Fatal("partial:8 run reported no drain cycles")
+	}
+	if thr.Result.Stats.ThrottledCycles == 0 {
+		t.Fatal("throttle:4 run reported no throttled cycles")
+	}
+
+	// An explicitly spelled default policy is the same simulation: it must
+	// normalize onto the baseline's cache entry, not fork a new one.
+	conv := run(`{"benchmark":"cc","scale":6,"policy":"conventional"}`)
+	if !conv.Cached || conv.Key != base.Key {
+		t.Fatalf("explicit default policy missed the cache: cached=%v key=%s",
+			conv.Cached, conv.Key)
+	}
+}
+
 func TestRunValidation(t *testing.T) {
 	_, ts := newTestServer(t, Config{})
 	cases := []struct {
@@ -136,6 +185,9 @@ func TestRunValidation(t *testing.T) {
 		{"bad smt", `{"benchmark":"cc","smt":3}`},
 		{"bad scale", `{"benchmark":"cc","scale":31}`},
 		{"bad predictor", `{"benchmark":"cc","predictor":"psychic"}`},
+		{"bad policy", `{"benchmark":"cc","policy":"psychic"}`},
+		{"bad policy depth", `{"benchmark":"cc","policy":"partial:x"}`},
+		{"bad policy conf", `{"benchmark":"cc","policy":"throttle:9"}`},
 		{"reserve below sentinel", `{"benchmark":"cc","reserve":-2}`},
 		{"negative watchdog", `{"benchmark":"cc","watchdog_cycles":-1}`},
 	}

@@ -1,0 +1,102 @@
+package blp
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// TestPolicyDefaultEquivalence is the blp-layer behavioral-identity
+// guarantee of the recovery-policy matrix: requesting the policy a mode
+// already implies produces byte-identical results to not requesting one,
+// so every pre-policy figure table is unchanged.
+func TestPolicyDefaultEquivalence(t *testing.T) {
+	pairs := []struct {
+		name           string
+		implicit, expl Options
+	}{
+		{"selective",
+			Options{Benchmark: "cc", Scale: 7, Mode: SliceOuter},
+			Options{Benchmark: "cc", Scale: 7, Mode: SliceOuter, Policy: "selective"}},
+		{"conventional",
+			Options{Benchmark: "cc", Scale: 7},
+			Options{Benchmark: "cc", Scale: 7, Policy: "conventional"}},
+	}
+	for _, p := range pairs {
+		p := p
+		t.Run(p.name, func(t *testing.T) {
+			if p.implicit.Key() != p.expl.Key() {
+				t.Fatalf("keys differ: the default policy does not normalize to %q:\n%s\n%s",
+					p.name, p.implicit.Key(), p.expl.Key())
+			}
+			a, err := Run(p.implicit)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := Run(p.expl)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(*a, *b) {
+				t.Fatalf("explicit %q diverges from the implicit default", p.name)
+			}
+		})
+	}
+}
+
+// TestPolicyMatrixSmoke runs the two genuinely new machines end to end:
+// both must complete the workload correctly (Run validates final memory
+// against the host reference), commit exactly what the baseline commits,
+// and show their mechanism engaged in the stats.
+func TestPolicyMatrixSmoke(t *testing.T) {
+	base, err := Run(Options{Benchmark: "cc", Scale: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	part, err := Run(Options{Benchmark: "cc", Scale: 7, Policy: "partial:8"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if part.Stats.Committed != base.Stats.Committed {
+		t.Fatalf("partial committed %d, baseline %d", part.Stats.Committed, base.Stats.Committed)
+	}
+	if part.Stats.DrainCycles == 0 {
+		t.Fatal("partial:8 never staged a drain on a branchy workload")
+	}
+
+	thr, err := Run(Options{Benchmark: "cc", Scale: 7, Policy: "throttle:4"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if thr.Stats.Committed != base.Stats.Committed {
+		t.Fatalf("throttle committed %d, baseline %d", thr.Stats.Committed, base.Stats.Committed)
+	}
+	if thr.Stats.ThrottledCycles == 0 {
+		t.Fatal("throttle:4 never gated fetch")
+	}
+
+	// A policy run composes with slice-annotated binaries too: the
+	// markers dispatch as overhead, recovery stays full-squash.
+	ps, err := Run(Options{Benchmark: "cc", Scale: 7, Mode: SliceOuter, Policy: "partial:8"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ps.Stats.SliceRecoveries != 0 {
+		t.Fatal("partial policy engaged the selective mechanism")
+	}
+}
+
+// TestPolicyErrors: malformed policies are rejected before any
+// simulation time is spent, with the parser's message.
+func TestPolicyErrors(t *testing.T) {
+	for _, bad := range []string{"nope", "partial:x", "throttle:9"} {
+		_, err := Run(Options{Benchmark: "cc", Scale: 7, Policy: bad})
+		if err == nil {
+			t.Fatalf("policy %q accepted", bad)
+		}
+		if !strings.Contains(err.Error(), "policy") {
+			t.Fatalf("policy %q error does not mention the policy: %v", bad, err)
+		}
+	}
+}

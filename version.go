@@ -21,7 +21,7 @@ var goldenFiles embed.FS
 // gob stream the durable store holds). Bump it when Result gains,
 // loses, or re-types fields in a way the goldens would not notice —
 // goldens print derived metrics, not the full struct.
-const resultSchema = 1
+const resultSchema = 2
 
 var behaviorVersion = sync.OnceValue(computeBehaviorVersion)
 
