@@ -29,7 +29,13 @@ import (
 // v5: RunRequest gained policy (the recovery-policy selector), and
 // ResultJSON's stats gained the policy diagnostics DrainCycles and
 // ThrottledCycles.
-const SchemaVersion = 5
+//
+// v6: cluster mode. RunResponse and SweepItem gained node (the
+// advertised name of the member that executed the run; omitted on an
+// unclustered server), MetricsSnapshot gained cluster (ring membership
+// plus per-peer forwarded/failed/fallback counters; null when
+// unclustered), and /healthz gained the cluster section.
+const SchemaVersion = 6
 
 // Zero is the wire spelling of blp.Zero: integer options whose zero
 // value means "default" accept -1 to request an explicit 0.
@@ -194,7 +200,11 @@ type RunResponse struct {
 	// Cached reports whether the result was shared — served from the
 	// resident cache or joined to an identical in-flight simulation —
 	// rather than freshly simulated for this request.
-	Cached    bool        `json:"cached"`
+	Cached bool `json:"cached"`
+	// Node is the cluster member that executed (or served) the run —
+	// the ring owner, or the entry node after a failover. Empty on an
+	// unclustered server.
+	Node      string      `json:"node,omitempty"`
 	ElapsedMS float64     `json:"elapsed_ms"`
 	Result    *ResultJSON `json:"result"`
 }
@@ -209,13 +219,16 @@ type SweepRequest struct {
 // request's runs array. Error is set (and Result nil) when that single
 // run failed; other runs continue.
 type SweepItem struct {
-	SchemaVersion int         `json:"schema_version"`
-	Index         int         `json:"index"`
-	Key           string      `json:"key"`
-	Cached        bool        `json:"cached"`
-	ElapsedMS     float64     `json:"elapsed_ms"`
-	Result        *ResultJSON `json:"result,omitempty"`
-	Error         string      `json:"error,omitempty"`
+	SchemaVersion int    `json:"schema_version"`
+	Index         int    `json:"index"`
+	Key           string `json:"key"`
+	Cached        bool   `json:"cached"`
+	// Node is the cluster member that executed the item (see
+	// RunResponse.Node); empty on an unclustered server.
+	Node      string      `json:"node,omitempty"`
+	ElapsedMS float64     `json:"elapsed_ms"`
+	Result    *ResultJSON `json:"result,omitempty"`
+	Error     string      `json:"error,omitempty"`
 }
 
 // errorResponse is the JSON body of every non-2xx response.

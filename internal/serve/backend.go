@@ -1,0 +1,315 @@
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	blp "repro"
+)
+
+// forwardedHeader marks a request as already routed by a peer. A node
+// receiving it executes locally no matter what its own ring says —
+// forwarding is exactly one hop, so disagreeing ring views (a
+// misconfigured member list) degrade to extra local work, never to a
+// forwarding loop. The value is the origin node's name, for logs.
+const forwardedHeader = "X-Sfserved-Forwarded"
+
+// Backend executes simulation requests on behalf of the routing layer:
+// the one seam through which /v1/run runs one request, /v1/sweep streams
+// items, and health checks reach a node. Two implementations exist —
+// localBackend over the server's own blp.Runner, and peerBackend over a
+// peer's HTTP API — so the handlers are written once against the
+// interface and cluster mode is purely a routing decision on top.
+type Backend interface {
+	// Name identifies the backend: the node's advertised URL, or "local"
+	// for an unclustered server.
+	Name() string
+	// Run executes one validated request, honoring ctx (cancellation
+	// must reach the simulation, across the HTTP hop for peers).
+	Run(ctx context.Context, rq RunRequest, o blp.Options) (*RunResponse, error)
+	// SweepItems executes a group of validated sweep runs, delivering
+	// each completed item (carrying its client-visible Index) as it
+	// finishes. deliver may be called from multiple goroutines; every
+	// index is delivered at most once. A non-nil error means the backend
+	// died mid-group — items not yet delivered are the caller's to
+	// re-route.
+	SweepItems(ctx context.Context, runs []indexedRun, deliver func(SweepItem)) error
+	// Healthy reports whether the backend is accepting work (nil), or
+	// why not (draining, unreachable).
+	Healthy(ctx context.Context) error
+}
+
+// indexedRun is one sweep entry annotated with its index in the
+// client's request, so scattered groups can stream back in completion
+// order and still be mapped to the right line.
+type indexedRun struct {
+	Index int
+	Req   RunRequest
+	Opts  blp.Options
+}
+
+// errPeerDown reports a peer that cannot take the request at all —
+// connection refused/reset, or an explicit 503 (draining). The router
+// responds by falling back to local compute.
+var errPeerDown = errors.New("serve: peer down or draining")
+
+// peerBusyError reports a peer that answered 429: the owner is shedding
+// load, and the router propagates that decision (with its Retry-After)
+// to the client instead of piling the work somewhere else.
+type peerBusyError struct{ retryAfter string }
+
+func (e *peerBusyError) Error() string { return "serve: peer at capacity (429)" }
+
+// remoteError carries a peer's terminal non-2xx answer for a run that
+// reached it: the simulation itself failed (or timed out) on the owner.
+// Falling back locally would just fail the same way, so the router maps
+// it straight onto the client response.
+type remoteError struct {
+	status int
+	msg    string
+}
+
+func (e *remoteError) Error() string {
+	return fmt.Sprintf("serve: peer answered %d: %s", e.status, e.msg)
+}
+
+// localBackend runs requests on this process's Runner via the server's
+// runCached seam (so cluster tests can substitute deterministic
+// simulations exactly like single-node tests do).
+type localBackend struct{ s *Server }
+
+func (b *localBackend) Name() string { return b.s.nodeName() }
+
+func (b *localBackend) Run(ctx context.Context, rq RunRequest, o blp.Options) (*RunResponse, error) {
+	start := time.Now()
+	res, cached, err := b.s.runCached(ctx, o)
+	if err != nil {
+		return nil, err
+	}
+	return &RunResponse{
+		SchemaVersion: SchemaVersion,
+		Key:           o.Key(),
+		Cached:        cached,
+		Node:          b.s.wireNodeName(),
+		ElapsedMS:     float64(time.Since(start).Microseconds()) / 1000,
+		Result:        resultJSON(res),
+	}, nil
+}
+
+// SweepItems fans the group out through the shared Runner, one
+// goroutine per item, each bounded by the server's per-run timeout.
+// Per-item failures become error items (classified into the server's
+// timeout/error counters exactly as the single-node sweep always has);
+// the group itself never fails — local compute has no transport to die.
+func (b *localBackend) SweepItems(ctx context.Context, runs []indexedRun, deliver func(SweepItem)) error {
+	var wg sync.WaitGroup
+	for _, ir := range runs {
+		wg.Add(1)
+		go func(ir indexedRun) {
+			defer wg.Done()
+			rctx, cancel := b.s.runCtx(ctx)
+			defer cancel()
+			start := time.Now()
+			res, cached, err := b.s.runCached(rctx, ir.Opts)
+			item := SweepItem{
+				SchemaVersion: SchemaVersion,
+				Index:         ir.Index,
+				Key:           ir.Opts.Key(),
+				Cached:        cached,
+				Node:          b.s.wireNodeName(),
+				ElapsedMS:     float64(time.Since(start).Microseconds()) / 1000,
+			}
+			if err != nil {
+				item.Error = err.Error()
+				switch {
+				case errors.Is(err, context.DeadlineExceeded):
+					b.s.metrics.addTimeout()
+				case errors.Is(err, context.Canceled):
+				default:
+					b.s.metrics.addError()
+				}
+			} else {
+				item.Result = resultJSON(res)
+			}
+			deliver(item)
+		}(ir)
+	}
+	wg.Wait()
+	return nil
+}
+
+func (b *localBackend) Healthy(ctx context.Context) error {
+	if b.s.draining.Load() {
+		return errPeerDown
+	}
+	return nil
+}
+
+// peerBackend proxies requests to another cluster member over its
+// public HTTP API. Outbound requests carry the caller's context
+// (http.NewRequestWithContext), so canceling the client request — or
+// the origin's per-run timeout firing — tears down the peer connection,
+// which cancels the peer's request context, which stops the peer-side
+// simulation at its next cancellation check: the RunContext plumbing,
+// mirrored across the HTTP hop.
+type peerBackend struct {
+	name string // peer base URL, e.g. "http://10.0.0.2:8344"
+	self string // origin node name, sent as forwardedHeader
+	hc   *http.Client
+}
+
+func newPeerBackend(name, self string) *peerBackend {
+	return &peerBackend{
+		name: name,
+		self: self,
+		// No client timeout: the caller's context governs. Idle
+		// connections are pooled per peer — forwarding is the hot path
+		// of a cluster, not an occasional hop.
+		hc: &http.Client{Transport: &http.Transport{
+			MaxIdleConnsPerHost: 16,
+			IdleConnTimeout:     90 * time.Second,
+		}},
+	}
+}
+
+func (p *peerBackend) Name() string { return p.name }
+
+func (p *peerBackend) post(ctx context.Context, path string, body any) (*http.Response, error) {
+	buf, err := json.Marshal(body)
+	if err != nil {
+		return nil, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, p.name+path, bytes.NewReader(buf))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(forwardedHeader, p.self)
+	resp, err := p.hc.Do(req)
+	if err != nil {
+		// Keep cancellation legible to callers: a forward aborted by the
+		// client's own context is not a peer failure.
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
+		return nil, fmt.Errorf("%w: %v", errPeerDown, err)
+	}
+	return resp, nil
+}
+
+// classify maps a peer's non-200 answer onto the router's error
+// vocabulary and consumes the response body.
+func classify(resp *http.Response) error {
+	defer resp.Body.Close()
+	var er errorResponse
+	json.NewDecoder(resp.Body).Decode(&er)
+	switch resp.StatusCode {
+	case http.StatusTooManyRequests:
+		return &peerBusyError{retryAfter: resp.Header.Get("Retry-After")}
+	case http.StatusServiceUnavailable:
+		// The peer is draining: forwarded traffic is refused so the ring
+		// reroutes, exactly like a dead peer.
+		return fmt.Errorf("%w: draining", errPeerDown)
+	default:
+		return &remoteError{status: resp.StatusCode, msg: er.Error}
+	}
+}
+
+func (p *peerBackend) Run(ctx context.Context, rq RunRequest, o blp.Options) (*RunResponse, error) {
+	resp, err := p.post(ctx, "/v1/run", rq)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, classify(resp)
+	}
+	defer resp.Body.Close()
+	var rr RunResponse
+	if err := json.NewDecoder(resp.Body).Decode(&rr); err != nil {
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
+		return nil, fmt.Errorf("%w: decoding response: %v", errPeerDown, err)
+	}
+	if rr.Node == "" {
+		rr.Node = p.name
+	}
+	return &rr, nil
+}
+
+// SweepItems forwards the group as one /v1/sweep to the peer and
+// streams its NDJSON lines back, remapping each item's peer-local index
+// onto the client's. A transport failure mid-stream (the owner died) is
+// returned after delivering everything that did arrive; the coordinator
+// re-routes the rest.
+func (p *peerBackend) SweepItems(ctx context.Context, runs []indexedRun, deliver func(SweepItem)) error {
+	sub := SweepRequest{Runs: make([]RunRequest, len(runs))}
+	for i, ir := range runs {
+		sub.Runs[i] = ir.Req
+	}
+	resp, err := p.post(ctx, "/v1/sweep", sub)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return classify(resp)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	delivered := 0
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var item SweepItem
+		if err := json.Unmarshal(line, &item); err != nil {
+			return fmt.Errorf("%w: bad NDJSON line: %v", errPeerDown, err)
+		}
+		if item.Index < 0 || item.Index >= len(runs) {
+			return fmt.Errorf("%w: item index %d out of range", errPeerDown, item.Index)
+		}
+		if item.Node == "" {
+			item.Node = p.name
+		}
+		item.Index = runs[item.Index].Index
+		deliver(item)
+		delivered++
+	}
+	if err := sc.Err(); err != nil {
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		return fmt.Errorf("%w: stream: %v", errPeerDown, err)
+	}
+	if delivered < len(runs) {
+		// Clean EOF with lines missing: the peer closed the stream early
+		// (killed between flushes). Same remedy as a torn connection.
+		return fmt.Errorf("%w: stream ended after %d/%d items", errPeerDown, delivered, len(runs))
+	}
+	return nil
+}
+
+func (p *peerBackend) Healthy(ctx context.Context) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, p.name+"/healthz", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := p.hc.Do(req)
+	if err != nil {
+		return fmt.Errorf("%w: %v", errPeerDown, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("%w: healthz %d", errPeerDown, resp.StatusCode)
+	}
+	return nil
+}

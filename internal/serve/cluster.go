@@ -1,0 +1,214 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"sync"
+	"sync/atomic"
+
+	blp "repro"
+)
+
+// cluster is a Server's view of its peer group: the consistent-hash
+// ring over every member (self included), one Backend per member, and
+// the per-peer forwarding counters surfaced on /metrics. nil on an
+// unclustered server — cluster mode is strictly additive.
+type cluster struct {
+	self     string
+	ring     *Ring
+	backends map[string]Backend // every ring member; self maps to the localBackend
+
+	// received counts requests that arrived carrying forwardedHeader —
+	// the inbound half of the forwarding story, so a test (or operator)
+	// can see from the owner's side that routing works.
+	received atomic.Int64
+	// shed counts forwarded requests refused with 503 because this node
+	// was draining (peers reroute them to local compute).
+	shed atomic.Int64
+
+	mu    sync.Mutex
+	peers map[string]*peerCounters // keyed by peer name; self never appears
+}
+
+// peerCounters tracks one peer from this node's point of view.
+type peerCounters struct {
+	forwarded int64 // requests routed to the peer (runs + sweep items)
+	failed    int64 // forwards that died (peer down/draining/stream torn)
+	fallback  int64 // requests recomputed locally after a failed forward
+}
+
+func newCluster(self string, peers []string, mkPeer func(name string) Backend, local Backend) *cluster {
+	members := append([]string{self}, peers...)
+	c := &cluster{
+		self:     self,
+		ring:     NewRing(members, 0),
+		backends: make(map[string]Backend),
+		peers:    make(map[string]*peerCounters),
+	}
+	for _, n := range c.ring.Nodes() {
+		if n == self {
+			c.backends[n] = local
+			continue
+		}
+		c.backends[n] = mkPeer(n)
+		c.peers[n] = &peerCounters{}
+	}
+	return c
+}
+
+// countersLocked returns peer's counter struct; caller holds c.mu.
+func (c *cluster) countersLocked(peer string) *peerCounters {
+	pc := c.peers[peer]
+	if pc == nil {
+		pc = &peerCounters{}
+		c.peers[peer] = pc
+	}
+	return pc
+}
+
+func (c *cluster) addForwarded(peer string, n int64) {
+	c.mu.Lock()
+	c.countersLocked(peer).forwarded += n
+	c.mu.Unlock()
+}
+
+func (c *cluster) addFailed(peer string, n int64) {
+	c.mu.Lock()
+	c.countersLocked(peer).failed += n
+	c.mu.Unlock()
+}
+
+func (c *cluster) addFallback(peer string, n int64) {
+	c.mu.Lock()
+	c.countersLocked(peer).fallback += n
+	c.mu.Unlock()
+}
+
+// snapshot copies the per-peer counters for /metrics.
+func (c *cluster) snapshot() map[string]PeerMetrics {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[string]PeerMetrics, len(c.peers))
+	for name, pc := range c.peers {
+		out[name] = PeerMetrics{Forwarded: pc.forwarded, Failed: pc.failed, Fallback: pc.fallback}
+	}
+	return out
+}
+
+// nodeName is this server's identity for logs and Backend.Name.
+func (s *Server) nodeName() string {
+	if s.cluster != nil {
+		return s.cluster.self
+	}
+	return "local"
+}
+
+// wireNodeName is the node field stamped on responses: the advertised
+// name in cluster mode, empty (omitted from JSON) on a single node so
+// the single-node wire format is unchanged.
+func (s *Server) wireNodeName() string {
+	if s.cluster != nil {
+		return s.cluster.self
+	}
+	return ""
+}
+
+// fromPeer reports whether the request was forwarded by a cluster
+// member (and therefore must be executed locally, never re-forwarded).
+func fromPeer(r *http.Request) bool { return r.Header.Get(forwardedHeader) != "" }
+
+// refuseForwardWhileDraining answers a forwarded request with 503 when
+// the node is draining, so peers fail over instead of queueing work on
+// a node that is leaving. Returns true if it wrote the response.
+// Direct client requests are unaffected — the closing listener handles
+// those — but forwarded traffic rides pooled keep-alive connections
+// that outlive the listener, so the drain must be explicit here.
+func (s *Server) refuseForwardWhileDraining(w http.ResponseWriter, r *http.Request) bool {
+	if s.cluster == nil || !fromPeer(r) {
+		return false
+	}
+	s.cluster.received.Add(1)
+	if !s.draining.Load() {
+		return false
+	}
+	s.cluster.shed.Add(1)
+	w.Header().Set("Retry-After", "1")
+	writeError(w, http.StatusServiceUnavailable, "draining; reroute to another member")
+	return true
+}
+
+// routeRun decides where a validated /v1/run executes. It returns
+// handled=true when it wrote the whole response (a successful forward,
+// a propagated 429/504, or a client that went away); handled=false
+// means the caller must execute locally — either this node owns the
+// key, the request is already a forward, or the owner is down and
+// local compute is the failover (counted per peer).
+func (s *Server) routeRun(w http.ResponseWriter, r *http.Request, rq RunRequest, o blp.Options) (handled bool) {
+	c := s.cluster
+	if c == nil || fromPeer(r) {
+		return false
+	}
+	owner := c.ring.Owner(o.Key())
+	if owner == c.self {
+		return false
+	}
+	backend := c.backends[owner]
+	c.addForwarded(owner, 1)
+	// The origin acts as a router here: it holds no local admission slot
+	// while forwarding (admission is the owner's decision), but it does
+	// apply its own per-run timeout so a wedged peer cannot pin the
+	// client past the origin's contract.
+	ctx, cancel := s.runCtx(r.Context())
+	defer cancel()
+	rr, err := backend.Run(ctx, rq, o)
+	if err == nil {
+		writeJSON(w, http.StatusOK, *rr)
+		return true
+	}
+	var busy *peerBusyError
+	var remote *remoteError
+	switch {
+	case errors.As(err, &busy):
+		// The owner is shedding load; honor its decision and its
+		// Retry-After rather than absorbing the overload locally.
+		s.metrics.addRejected()
+		ra := busy.retryAfter
+		if ra == "" {
+			ra = "1"
+		}
+		w.Header().Set("Retry-After", ra)
+		writeError(w, http.StatusTooManyRequests, "owner at capacity; retry later")
+		return true
+	case errors.As(err, &remote):
+		// The run reached the owner and failed there (bad configuration,
+		// simulation error, owner-side timeout). Local compute would fail
+		// identically; surface the owner's verdict.
+		s.runError(w, remoteRunError(remote))
+		return true
+	case errors.Is(err, context.DeadlineExceeded):
+		s.metrics.addTimeout()
+		writeError(w, http.StatusGatewayTimeout, "run exceeded the server's per-run timeout")
+		return true
+	case errors.Is(err, context.Canceled):
+		// Client gone; the cancellation has already propagated across
+		// the hop and stopped the peer-side simulation.
+		return true
+	default:
+		// Peer down or draining: fail over to local compute.
+		c.addFailed(owner, 1)
+		c.addFallback(owner, 1)
+		s.logf("forward to %s failed (%v); falling back to local compute", owner, err)
+		return false
+	}
+}
+
+// remoteRunError converts a peer's terminal answer into the error shape
+// runError classifies: a 504 stays a timeout, anything else surfaces as
+// the peer's message.
+func remoteRunError(e *remoteError) error {
+	if e.status == http.StatusGatewayTimeout {
+		return context.DeadlineExceeded
+	}
+	return errors.New(e.msg)
+}

@@ -1,0 +1,179 @@
+package serve
+
+import (
+	"context"
+	"net/http"
+	"strings"
+	"testing"
+
+	blp "repro"
+	"repro/internal/store"
+)
+
+// TestClusterSweepSurvivesOwnerDeath is the fault-injection acceptance
+// test: an owner is killed mid-sweep (its in-flight NDJSON stream torn,
+// its listener gone) and the coordinating node must still complete the
+// sweep — recomputing the dead member's items locally — with every item
+// delivered exactly once and byte-identical to the single-node golden.
+func TestClusterSweepSurvivesOwnerDeath(t *testing.T) {
+	golden := goldenResults(t, clusterRequestSet)
+	tc := newTestCluster(t, 3, nil)
+
+	// The victim owns the first request of the set; the sweep enters
+	// through a different node, so the victim's items cross the wire.
+	victim := tc.ownerIndex(t, clusterRequestSet[0])
+	origin := (victim + 1) % len(tc.urls)
+
+	// Park the victim's simulations so the kill lands mid-sweep with its
+	// sub-stream open and zero items delivered. Only the victim is
+	// seamed: the origin's local fallback must really simulate.
+	victimStarted := make(chan struct{}, 16)
+	tc.servers[victim].runCached = func(ctx context.Context, o blp.Options) (*blp.Result, bool, error) {
+		victimStarted <- struct{}{}
+		<-ctx.Done()
+		return nil, false, ctx.Err()
+	}
+
+	sweep := `{"runs":[` + strings.Join(clusterRequestSet, ",") + `]}`
+	type sweepOut struct {
+		items []SweepItem
+		code  int
+	}
+	done := make(chan sweepOut, 1)
+	go func() {
+		resp := postJSON(t, tc.urls[origin]+"/v1/sweep", sweep)
+		done <- sweepOut{readSweepItems(t, resp), resp.StatusCode}
+	}()
+
+	// The victim has begun "simulating" a forwarded item: the scatter is
+	// in flight. Kill it — tear the open client connections (the origin's
+	// sub-sweep stream dies mid-body) and close the listener (reconnects
+	// are refused).
+	<-victimStarted
+	tc.fronts[victim].CloseClientConnections()
+	tc.fronts[victim].Close()
+
+	out := <-done
+	if out.code != http.StatusOK {
+		t.Fatalf("sweep status %d", out.code)
+	}
+	if len(out.items) != len(clusterRequestSet) {
+		t.Fatalf("sweep delivered %d items, want %d", len(out.items), len(clusterRequestSet))
+	}
+	seen := make(map[int]bool)
+	for _, it := range out.items {
+		if it.Error != "" {
+			t.Fatalf("item %d failed: %s", it.Index, it.Error)
+		}
+		if seen[it.Index] {
+			t.Fatalf("index %d delivered twice", it.Index)
+		}
+		seen[it.Index] = true
+		if got := marshalResult(t, it.Result); got != golden[clusterRequestSet[it.Index]] {
+			t.Errorf("item %d: result differs from single-node golden", it.Index)
+		}
+	}
+
+	// The origin recorded the victim's death: forwards failed, fallback
+	// recomputed the orphaned items.
+	snap := getMetrics(t, tc.urls[origin])
+	pm := snap.Cluster.Peers[tc.urls[victim]]
+	if pm.Forwarded == 0 || pm.Failed == 0 || pm.Fallback == 0 {
+		t.Errorf("origin peer counters for dead owner = %+v, want forwarded, failed and fallback > 0", pm)
+	}
+
+	// The cluster still serves runs with the owner dead: requests for the
+	// victim's keys fail over to local compute on whatever node they
+	// enter through.
+	resp := postJSON(t, tc.urls[origin]+"/v1/run", clusterRequestSet[0])
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("run after owner death: status %d", resp.StatusCode)
+	}
+	var rr RunResponse
+	decodeInto(t, resp, &rr)
+	if rr.Node != tc.urls[origin] {
+		t.Errorf("post-death run executed on %q, want local failover on %q", rr.Node, tc.urls[origin])
+	}
+	if got := marshalResult(t, rr.Result); got != golden[clusterRequestSet[0]] {
+		t.Errorf("post-death run differs from golden")
+	}
+}
+
+// TestClusterWarmStart is the cluster warm-start equivalence test:
+// three members share one durable store directory; after a full restart
+// of every member, the same sweep completes with zero simulations
+// cluster-wide and byte-identical output to the single-node golden.
+func TestClusterWarmStart(t *testing.T) {
+	golden := goldenResults(t, clusterRequestSet)
+	dir := t.TempDir()
+	sweep := `{"runs":[` + strings.Join(clusterRequestSet, ",") + `]}`
+
+	openStores := func() []*store.Store {
+		stores := make([]*store.Store, 3)
+		for i := range stores {
+			st, err := blp.OpenStore(dir, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			stores[i] = st
+		}
+		return stores
+	}
+	closeAll := func(tc *testCluster, stores []*store.Store) {
+		for _, f := range tc.fronts {
+			f.Close()
+		}
+		for _, st := range stores {
+			if err := st.Close(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	// Generation 1: populate the shared store through the ring.
+	stores := openStores()
+	tc := newTestCluster(t, 3, func(i int, c Config) Config {
+		c.Store = stores[i]
+		return c
+	})
+	resp := postJSON(t, tc.urls[0]+"/v1/sweep", sweep)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("populate sweep: status %d", resp.StatusCode)
+	}
+	if items := readSweepItems(t, resp); len(items) != len(clusterRequestSet) {
+		t.Fatalf("populate sweep delivered %d items", len(items))
+	}
+	closeAll(tc, stores)
+
+	// Generation 2: a full cluster restart — fresh Servers, fresh store
+	// handles, same directory. Every result must come off disk.
+	stores = openStores()
+	tc = newTestCluster(t, 3, func(i int, c Config) Config {
+		c.Store = stores[i]
+		return c
+	})
+	resp = postJSON(t, tc.urls[1]+"/v1/sweep", sweep)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("warm sweep: status %d", resp.StatusCode)
+	}
+	items := readSweepItems(t, resp)
+	if len(items) != len(clusterRequestSet) {
+		t.Fatalf("warm sweep delivered %d items", len(items))
+	}
+	for _, it := range items {
+		if it.Error != "" {
+			t.Fatalf("warm item %d: %s", it.Index, it.Error)
+		}
+		if got := marshalResult(t, it.Result); got != golden[clusterRequestSet[it.Index]] {
+			t.Errorf("warm item %d differs from single-node golden", it.Index)
+		}
+	}
+	var simulated int
+	for i := range tc.servers {
+		simulated += getMetrics(t, tc.urls[i]).Sims.Simulated
+	}
+	if simulated != 0 {
+		t.Errorf("restarted cluster simulated %d runs, want 0 (warm start)", simulated)
+	}
+	closeAll(tc, stores)
+}

@@ -1,0 +1,481 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	blp "repro"
+)
+
+// testCluster is an in-process cluster: n serve.Servers, each fronted
+// by a real httptest listener, all members of one consistent-hash ring.
+// The listeners come up first (their URLs are the ring names, and every
+// Server needs the full membership at construction), with late-bound
+// handlers pointing at the Servers once they exist.
+type testCluster struct {
+	urls    []string
+	servers []*Server
+	fronts  []*httptest.Server
+}
+
+// newTestCluster builds an n-node cluster. cfg, if non-nil, customizes
+// node i's Config after Self/Peers are filled in (e.g. to attach a
+// store); it must not touch Self or Peers.
+func newTestCluster(t *testing.T, n int, cfg func(i int, c Config) Config) *testCluster {
+	t.Helper()
+	tc := &testCluster{
+		urls:    make([]string, n),
+		servers: make([]*Server, n),
+		fronts:  make([]*httptest.Server, n),
+	}
+	handlers := make([]atomic.Pointer[http.Handler], n)
+	for i := 0; i < n; i++ {
+		i := i
+		tc.fronts[i] = httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			if h := handlers[i].Load(); h != nil {
+				(*h).ServeHTTP(w, r)
+				return
+			}
+			http.Error(w, "not ready", http.StatusServiceUnavailable)
+		}))
+		tc.urls[i] = tc.fronts[i].URL
+		t.Cleanup(tc.fronts[i].Close)
+	}
+	for i := 0; i < n; i++ {
+		c := Config{Self: tc.urls[i], Peers: tc.urls}
+		if cfg != nil {
+			c = cfg(i, c)
+		}
+		tc.servers[i] = New(c)
+		h := tc.servers[i].Handler()
+		handlers[i].Store(&h)
+	}
+	return tc
+}
+
+// ownerIndex returns which node owns the request's canonical key.
+func (tc *testCluster) ownerIndex(t *testing.T, body string) int {
+	t.Helper()
+	var rq RunRequest
+	if err := json.Unmarshal([]byte(body), &rq); err != nil {
+		t.Fatal(err)
+	}
+	o, err := rq.Options()
+	if err != nil {
+		t.Fatal(err)
+	}
+	owner := tc.servers[0].cluster.ring.Owner(o.Key())
+	for i, u := range tc.urls {
+		if u == owner {
+			return i
+		}
+	}
+	t.Fatalf("owner %q is not a member", owner)
+	return -1
+}
+
+// notOwner returns some node index that does not own the request.
+func (tc *testCluster) notOwner(t *testing.T, body string) int {
+	return (tc.ownerIndex(t, body) + 1) % len(tc.urls)
+}
+
+// clusterRequestSet is the shared workload for the conformance tests:
+// distinct canonical keys across two benchmarks, both slicing modes,
+// and several timing knobs — enough keys that a 3-node ring owns a few
+// each, cheap enough (scale 6) that the whole set simulates in seconds.
+var clusterRequestSet = []string{
+	`{"benchmark":"cc","scale":6}`,
+	`{"benchmark":"cc","scale":6,"mode":"outer"}`,
+	`{"benchmark":"cc","scale":6,"predictor":"oracle"}`,
+	`{"benchmark":"cc","scale":6,"mode":"outer","predictor":"oracle"}`,
+	`{"benchmark":"cc","scale":6,"frq_size":4}`,
+	`{"benchmark":"cc","scale":6,"mode":"outer","frq_size":4}`,
+	`{"benchmark":"bfs","scale":6}`,
+	`{"benchmark":"bfs","scale":6,"mode":"outer"}`,
+}
+
+// goldenResults runs the request set on a plain single-node server and
+// returns body -> marshaled Result — the reference every cluster
+// configuration must reproduce byte-identically.
+func goldenResults(t *testing.T, bodies []string) map[string]string {
+	t.Helper()
+	_, ts := newTestServer(t, Config{})
+	golden := make(map[string]string, len(bodies))
+	for _, body := range bodies {
+		resp := postJSON(t, ts.URL+"/v1/run", body)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("golden run %s: status %d", body, resp.StatusCode)
+		}
+		var rr RunResponse
+		decodeInto(t, resp, &rr)
+		golden[body] = marshalResult(t, rr.Result)
+	}
+	return golden
+}
+
+func marshalResult(t *testing.T, r *ResultJSON) string {
+	t.Helper()
+	if r == nil {
+		t.Fatal("nil result")
+	}
+	b, err := json.Marshal(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+// TestClusterRunByteIdentical is the tentpole conformance test: every
+// request of the set, entered through a node that does NOT own it, is
+// forwarded to its ring owner and answers byte-identically to the
+// single-node golden; each key simulates exactly once cluster-wide, and
+// the forwarding counters are visible on /metrics.
+func TestClusterRunByteIdentical(t *testing.T) {
+	golden := goldenResults(t, clusterRequestSet)
+	tc := newTestCluster(t, 3, nil)
+
+	for _, body := range clusterRequestSet {
+		owner := tc.ownerIndex(t, body)
+		entry := tc.notOwner(t, body)
+		resp := postJSON(t, tc.urls[entry]+"/v1/run", body)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s via node %d: status %d", body, entry, resp.StatusCode)
+		}
+		var rr RunResponse
+		decodeInto(t, resp, &rr)
+		if rr.Node != tc.urls[owner] {
+			t.Errorf("%s: executed on %q, ring owner is %q", body, rr.Node, tc.urls[owner])
+		}
+		if got := marshalResult(t, rr.Result); got != golden[body] {
+			t.Errorf("%s: cluster result differs from single-node golden\n got %s\nwant %s",
+				body, got, golden[body])
+		}
+	}
+
+	// Entering through the owner itself must serve from that node's now-
+	// warm cache: no forwarding, same bytes.
+	for _, body := range clusterRequestSet {
+		owner := tc.ownerIndex(t, body)
+		resp := postJSON(t, tc.urls[owner]+"/v1/run", body)
+		var rr RunResponse
+		decodeInto(t, resp, &rr)
+		if !rr.Cached {
+			t.Errorf("%s via its owner: not served from cache", body)
+		}
+		if got := marshalResult(t, rr.Result); got != golden[body] {
+			t.Errorf("%s: owner-entry result differs from golden", body)
+		}
+	}
+
+	var simulated, forwarded, received int
+	for i, sv := range tc.servers {
+		snap := getMetrics(t, tc.urls[i])
+		if snap.Cluster == nil {
+			t.Fatalf("node %d: no cluster section in /metrics", i)
+		}
+		if snap.Cluster.Self != tc.urls[i] || len(snap.Cluster.RingNodes) != 3 {
+			t.Fatalf("node %d: bad cluster identity %+v", i, snap.Cluster)
+		}
+		simulated += snap.Sims.Simulated
+		received += int(snap.Cluster.ReceivedForwards)
+		for _, pm := range snap.Cluster.Peers {
+			forwarded += int(pm.Forwarded)
+			if pm.Failed != 0 || pm.Fallback != 0 {
+				t.Errorf("node %d: unexpected failures %+v with all peers up", i, pm)
+			}
+		}
+		_ = sv
+	}
+	if simulated != len(clusterRequestSet) {
+		t.Errorf("cluster simulated %d runs for %d distinct keys (cache affinity broken)",
+			simulated, len(clusterRequestSet))
+	}
+	if forwarded != len(clusterRequestSet) {
+		t.Errorf("forwarded = %d, want %d (every request entered off-owner)",
+			forwarded, len(clusterRequestSet))
+	}
+	if received != len(clusterRequestSet) {
+		t.Errorf("received_forwards = %d, want %d", received, len(clusterRequestSet))
+	}
+}
+
+// TestClusterSweepByteIdentical scatters one sweep over the ring and
+// requires the merged stream to carry every item exactly once, each
+// executed on its ring owner, byte-identical to the single-node golden
+// — regardless of which node the sweep enters through.
+func TestClusterSweepByteIdentical(t *testing.T) {
+	golden := goldenResults(t, clusterRequestSet)
+	tc := newTestCluster(t, 3, nil)
+	sweep := `{"runs":[` + strings.Join(clusterRequestSet, ",") + `]}`
+
+	for entry := range tc.urls {
+		resp := postJSON(t, tc.urls[entry]+"/v1/sweep", sweep)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("sweep via node %d: status %d", entry, resp.StatusCode)
+		}
+		items := readSweepItems(t, resp)
+		if len(items) != len(clusterRequestSet) {
+			t.Fatalf("node %d: %d items, want %d", entry, len(items), len(clusterRequestSet))
+		}
+		seen := make(map[int]bool)
+		for _, it := range items {
+			if it.Error != "" {
+				t.Fatalf("node %d item %d: %s", entry, it.Index, it.Error)
+			}
+			if seen[it.Index] {
+				t.Fatalf("node %d: index %d delivered twice", entry, it.Index)
+			}
+			seen[it.Index] = true
+			body := clusterRequestSet[it.Index]
+			if owner := tc.ownerIndex(t, body); it.Node != tc.urls[owner] {
+				t.Errorf("node %d item %d: executed on %q, owner %q",
+					entry, it.Index, it.Node, tc.urls[owner])
+			}
+			if got := marshalResult(t, it.Result); got != golden[body] {
+				t.Errorf("node %d item %d: result differs from golden", entry, it.Index)
+			}
+		}
+	}
+	var simulated int
+	for i := range tc.servers {
+		simulated += getMetrics(t, tc.urls[i]).Sims.Simulated
+	}
+	if simulated != len(clusterRequestSet) {
+		t.Errorf("three sweeps simulated %d runs for %d keys", simulated, len(clusterRequestSet))
+	}
+}
+
+// seamAll installs a blocking runCached seam on every node, reporting
+// (node, started) and (node, canceled) events.
+func seamAll(tc *testCluster) (started, canceled chan int, release chan struct{}) {
+	started = make(chan int, 16)
+	canceled = make(chan int, 16)
+	release = make(chan struct{})
+	for i, sv := range tc.servers {
+		i := i
+		sv.runCached = func(ctx context.Context, o blp.Options) (*blp.Result, bool, error) {
+			started <- i
+			select {
+			case <-release:
+				return &blp.Result{Cycles: 7}, false, nil
+			case <-ctx.Done():
+				canceled <- i
+				return nil, false, ctx.Err()
+			}
+		}
+	}
+	return
+}
+
+// TestClusterForwardPropagatesCancellation pins the satellite fix:
+// canceling the client's request must cancel the peer-side simulation —
+// the RunContext plumbing crosses the HTTP hop via the forwarded
+// request's context.
+func TestClusterForwardPropagatesCancellation(t *testing.T) {
+	tc := newTestCluster(t, 3, nil)
+	started, canceled, release := seamAll(tc)
+	defer close(release)
+
+	body := `{"benchmark":"cc","scale":6}`
+	owner := tc.ownerIndex(t, body)
+	entry := tc.notOwner(t, body)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		tc.urls[entry]+"/v1/run", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	reqDone := make(chan error, 1)
+	go func() {
+		resp, err := http.DefaultClient.Do(req)
+		if err == nil {
+			resp.Body.Close()
+		}
+		reqDone <- err
+	}()
+
+	select {
+	case n := <-started:
+		if n != owner {
+			t.Fatalf("simulation started on node %d, owner is %d", n, owner)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("forwarded simulation never started on the owner")
+	}
+	cancel()
+	select {
+	case n := <-canceled:
+		if n != owner {
+			t.Fatalf("cancellation reached node %d, want owner %d", n, owner)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("client cancellation never reached the peer-side simulation")
+	}
+	<-reqDone
+}
+
+// TestClusterDrainShedsForwards pins the drain satellite: a draining
+// member answers forwarded traffic 503 (with the cluster counter
+// ticking), and the forwarding peer fails over to local compute, so the
+// client still gets its result.
+func TestClusterDrainShedsForwards(t *testing.T) {
+	tc := newTestCluster(t, 3, nil)
+	body := `{"benchmark":"cc","scale":6,"mode":"outer"}`
+	owner := tc.ownerIndex(t, body)
+	entry := tc.notOwner(t, body)
+
+	tc.servers[owner].draining.Store(true)
+
+	// A forwarded request straight at the draining owner sees 503.
+	req, err := http.NewRequest(http.MethodPost, tc.urls[owner]+"/v1/run", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set(forwardedHeader, tc.urls[entry])
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("forwarded request to draining owner: status %d, want 503", resp.StatusCode)
+	}
+
+	// Through the ring: the entry node's forward is refused and it falls
+	// back to local compute — the client sees a 200 served by the entry.
+	resp = postJSON(t, tc.urls[entry]+"/v1/run", body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("run via entry with draining owner: status %d, want 200 (failover)", resp.StatusCode)
+	}
+	var rr RunResponse
+	decodeInto(t, resp, &rr)
+	if rr.Node != tc.urls[entry] {
+		t.Errorf("failover executed on %q, want entry %q", rr.Node, tc.urls[entry])
+	}
+
+	entrySnap := getMetrics(t, tc.urls[entry])
+	pm := entrySnap.Cluster.Peers[tc.urls[owner]]
+	if pm.Failed == 0 || pm.Fallback == 0 {
+		t.Errorf("entry node counters %+v, want failed>0 and fallback>0", pm)
+	}
+	ownerSnap := getMetrics(t, tc.urls[owner])
+	if ownerSnap.Cluster.ShedForwards == 0 {
+		t.Errorf("draining owner shed_forwards = 0, want > 0")
+	}
+
+	// An un-forwarded sweep to the draining node still works (drain
+	// shedding is for peer traffic; direct clients are handled by the
+	// closing listener in a real shutdown).
+	tc.servers[owner].draining.Store(false)
+}
+
+// TestClusterHealthz pins the peer-aware health surface: the cluster
+// section lists the membership, and ?peers=1 probes each peer.
+func TestClusterHealthz(t *testing.T) {
+	tc := newTestCluster(t, 3, nil)
+	resp, err := http.Get(tc.urls[0] + "/healthz?peers=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz status %d", resp.StatusCode)
+	}
+	var hr healthzResponse
+	decodeInto(t, resp, &hr)
+	if hr.Cluster == nil || hr.Cluster.Self != tc.urls[0] || len(hr.Cluster.Nodes) != 3 {
+		t.Fatalf("bad cluster healthz: %+v", hr.Cluster)
+	}
+	if len(hr.Cluster.Peers) != 2 {
+		t.Fatalf("probed %d peers, want 2: %+v", len(hr.Cluster.Peers), hr.Cluster.Peers)
+	}
+	for name, status := range hr.Cluster.Peers {
+		if status != "ok" {
+			t.Errorf("peer %s: %s", name, status)
+		}
+	}
+
+	// A draining peer shows up as not-ok in the probe.
+	tc.servers[1].draining.Store(true)
+	defer tc.servers[1].draining.Store(false)
+	resp, err = http.Get(tc.urls[0] + "/healthz?peers=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	decodeInto(t, resp, &hr)
+	if hr.Cluster.Peers[tc.urls[1]] == "ok" {
+		t.Errorf("draining peer reported ok: %+v", hr.Cluster.Peers)
+	}
+}
+
+// TestClusterSingleNodeUnchanged pins that cluster mode is strictly
+// additive: an unclustered server reports cluster: null, no node field,
+// and no forwarding headers change its behavior.
+func TestClusterSingleNodeUnchanged(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	if snap := getMetrics(t, ts.URL); snap.Cluster != nil {
+		t.Fatalf("single node reports a cluster section: %+v", snap.Cluster)
+	}
+	req, err := http.NewRequest(http.MethodPost, ts.URL+"/v1/run",
+		strings.NewReader(`{"benchmark":"cc","scale":6}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set(forwardedHeader, "http://nobody:1")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("forwarded-marked request on single node: status %d", resp.StatusCode)
+	}
+	var rr RunResponse
+	decodeInto(t, resp, &rr)
+	if rr.Node != "" {
+		t.Errorf("single-node response carries node %q", rr.Node)
+	}
+}
+
+// TestClusterPeerBusyPropagates pins load shedding across the hop: when
+// the owner answers 429, the entry node propagates the 429 and its
+// Retry-After to the client instead of absorbing the work.
+func TestClusterPeerBusyPropagates(t *testing.T) {
+	tc := newTestCluster(t, 3, nil)
+	body := `{"benchmark":"cc","scale":6,"predictor":"oracle"}`
+	owner := tc.ownerIndex(t, body)
+	entry := tc.notOwner(t, body)
+
+	// Saturate the owner: one slot, no waiting room, a simulation parked
+	// in it.
+	tc.servers[owner].q = newQueue(1, 0)
+	started, _, release := seamAll(tc)
+	parked := make(chan struct{})
+	go func() {
+		defer close(parked)
+		resp := postJSON(t, tc.urls[owner]+"/v1/run", body)
+		resp.Body.Close()
+	}()
+	<-started
+
+	resp := postJSON(t, tc.urls[entry]+"/v1/run", body)
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("entry answered %d for saturated owner, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("propagated 429 lost its Retry-After")
+	}
+	snap := getMetrics(t, tc.urls[entry])
+	if pm := snap.Cluster.Peers[tc.urls[owner]]; pm.Fallback != 0 {
+		t.Errorf("429 caused a local fallback (%+v); shedding must propagate", pm)
+	}
+
+	close(release)
+	<-parked
+}

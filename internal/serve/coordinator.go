@@ -1,0 +1,144 @@
+package serve
+
+import (
+	"context"
+	"sort"
+	"sync"
+
+	blp "repro"
+)
+
+// optsOf projects a group back onto its Options (for trace-reuse hints).
+func optsOf(runs []indexedRun) []blp.Options {
+	opts := make([]blp.Options, len(runs))
+	for i, ir := range runs {
+		opts[i] = ir.Opts
+	}
+	return opts
+}
+
+// scatterSweep is the cluster sweep coordinator: it partitions a
+// validated sweep by ring owner, runs this node's share locally,
+// forwards each peer's share as one sub-sweep over the Backend seam,
+// and feeds every completed item to deliver as it arrives — the merged
+// stream is completion-ordered across the whole cluster, exactly like
+// the single-node sweep is across its goroutines.
+//
+// Failure policy: a peer group that dies mid-stream (owner killed,
+// draining, at capacity) falls back to local compute for exactly the
+// items that were not yet delivered. Every index is delivered exactly
+// once, so the client always receives len(runs) lines; a dead owner
+// costs latency and local cycles, never results.
+func (s *Server) scatterSweep(ctx context.Context, runs []indexedRun, deliver func(SweepItem)) {
+	c := s.cluster
+	groups := make(map[string][]indexedRun)
+	for _, ir := range runs {
+		owner := c.ring.Owner(ir.Opts.Key())
+		groups[owner] = append(groups[owner], ir)
+	}
+	// Deterministic dispatch order (map iteration is not) so tests and
+	// logs see a stable scatter; completion order remains whatever the
+	// cluster produces.
+	owners := make([]string, 0, len(groups))
+	for o := range groups {
+		owners = append(owners, o)
+	}
+	sort.Strings(owners)
+
+	var wg sync.WaitGroup
+	for _, owner := range owners {
+		group := groups[owner]
+		wg.Add(1)
+		if owner == c.self {
+			go func(group []indexedRun) {
+				defer wg.Done()
+				// This node's share is a local batch: hint trace reuse
+				// across it like any other (see handleSweep).
+				release := s.runner.HintTraces(optsOf(group))
+				defer release()
+				c.backends[c.self].SweepItems(ctx, group, deliver)
+			}(group)
+			continue
+		}
+		go func(owner string, group []indexedRun) {
+			defer wg.Done()
+			s.forwardSweepGroup(ctx, owner, group, deliver)
+		}(owner, group)
+	}
+	wg.Wait()
+}
+
+// forwardSweepGroup streams one owner's share from that peer, tracking
+// which client indices arrived; whatever the peer failed to produce is
+// recomputed locally.
+func (s *Server) forwardSweepGroup(ctx context.Context, owner string, group []indexedRun, deliver func(SweepItem)) {
+	c := s.cluster
+	c.addForwarded(owner, int64(len(group)))
+
+	var mu sync.Mutex
+	received := make(map[int]bool, len(group))
+	track := func(item SweepItem) {
+		mu.Lock()
+		dup := received[item.Index]
+		received[item.Index] = true
+		mu.Unlock()
+		if !dup {
+			deliver(item)
+		}
+	}
+	err := c.backends[owner].SweepItems(ctx, group, track)
+	if err == nil || ctx.Err() != nil {
+		// Success, or the client itself is gone — either way nothing
+		// left to re-route (on cancellation the local fallback would
+		// only mint canceled items; the handler's writer is dead).
+		if ctx.Err() != nil {
+			s.deliverMissing(group, received, &mu, deliver, ctx)
+		}
+		return
+	}
+	mu.Lock()
+	var missing []indexedRun
+	for _, ir := range group {
+		if !received[ir.Index] {
+			missing = append(missing, ir)
+		}
+	}
+	mu.Unlock()
+	c.addFailed(owner, int64(len(missing)))
+	if len(missing) == 0 {
+		return
+	}
+	c.addFallback(owner, int64(len(missing)))
+	s.logf("sweep forward to %s failed (%v); recomputing %d item(s) locally",
+		owner, err, len(missing))
+	// Local fallback shares the trace-reuse hint story with any other
+	// local batch: if the failed share contains multiple timing configs
+	// of one workload, capture once and replay.
+	opts := optsOf(missing)
+	release := s.runner.HintTraces(opts)
+	defer release()
+	c.backends[c.self].SweepItems(ctx, missing, deliver)
+}
+
+// deliverMissing emits canceled-error items for indices a dead forward
+// never produced when the client context is already gone, keeping the
+// every-index-delivered-once invariant even on teardown paths where
+// nobody is reading anymore (the handler drains its channel to unblock
+// senders).
+func (s *Server) deliverMissing(group []indexedRun, received map[int]bool, mu *sync.Mutex, deliver func(SweepItem), ctx context.Context) {
+	mu.Lock()
+	defer mu.Unlock()
+	for _, ir := range group {
+		if received[ir.Index] {
+			continue
+		}
+		received[ir.Index] = true
+		deliver(SweepItem{
+			SchemaVersion: SchemaVersion,
+			Index:         ir.Index,
+			Key:           ir.Opts.Key(),
+			Node:          s.wireNodeName(),
+			Error:         context.Cause(ctx).Error(),
+		})
+	}
+}

@@ -1,0 +1,144 @@
+package serve
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"sort"
+	"strconv"
+)
+
+// DefaultRingReplicas is the number of virtual nodes each member
+// contributes to the hash ring. More virtual nodes smooth the key
+// distribution (stddev of a node's share shrinks with 1/sqrt(replicas))
+// at the cost of a larger sorted point array; 128 keeps worst-case
+// imbalance within a few tens of percent for small clusters while the
+// whole ring still fits in a cache line count that makes Owner lookups
+// effectively free next to a simulation.
+const DefaultRingReplicas = 128
+
+// Ring is a consistent-hash ring over named nodes. Placement is pure:
+// it depends only on the member names and the replica count, never on
+// process state or map iteration order, so every node of a cluster —
+// and every release of this code — computes the same owner for a key
+// (pinned by TestRingPlacementPinned). Adding or removing one member
+// moves only the keys that member owned (plus/minus its share),
+// which is the property that lets a cache-affinity cluster scale
+// without diluting every node's working set.
+//
+// A Ring is immutable after NewRing; derive membership changes with
+// Without or a fresh NewRing.
+type Ring struct {
+	replicas int
+	nodes    []string // sorted, deduplicated member names
+	hashes   []uint64 // sorted virtual-node points
+	owners   []int32  // owners[i]: index into nodes for hashes[i]
+}
+
+// NewRing builds a ring over the given node names (deduplicated; order
+// is irrelevant) with the given virtual-node count per member
+// (<= 0 selects DefaultRingReplicas). An empty node list yields a ring
+// whose Owner returns "".
+func NewRing(nodes []string, replicas int) *Ring {
+	if replicas <= 0 {
+		replicas = DefaultRingReplicas
+	}
+	uniq := make([]string, 0, len(nodes))
+	seen := make(map[string]bool, len(nodes))
+	for _, n := range nodes {
+		if n != "" && !seen[n] {
+			seen[n] = true
+			uniq = append(uniq, n)
+		}
+	}
+	sort.Strings(uniq)
+	r := &Ring{
+		replicas: replicas,
+		nodes:    uniq,
+		hashes:   make([]uint64, 0, len(uniq)*replicas),
+		owners:   make([]int32, 0, len(uniq)*replicas),
+	}
+	type point struct {
+		h    uint64
+		node int32
+	}
+	pts := make([]point, 0, len(uniq)*replicas)
+	for ni, n := range uniq {
+		for v := 0; v < replicas; v++ {
+			pts = append(pts, point{pointHash(n, v), int32(ni)})
+		}
+	}
+	// Ties (64-bit collisions; astronomically rare) break toward the
+	// lexically smaller node so placement stays a pure function of the
+	// membership set.
+	sort.Slice(pts, func(i, j int) bool {
+		if pts[i].h != pts[j].h {
+			return pts[i].h < pts[j].h
+		}
+		return pts[i].node < pts[j].node
+	})
+	for _, p := range pts {
+		r.hashes = append(r.hashes, p.h)
+		r.owners = append(r.owners, p.node)
+	}
+	return r
+}
+
+// pointHash places virtual node v of a member on the ring. Truncated
+// SHA-256 is deliberate twice over: unlike maphash it is unseeded, so
+// placement is identical across processes and releases; and unlike FNV
+// it has full avalanche on the near-identical strings node names and
+// vnode labels actually are (FNV left members owning 0.5×–2.2× their
+// fair share at 128 vnodes; SHA-256 keeps the spread within the
+// tolerance TestRingBalanceWithinTolerance pins). Hashing is off the
+// request path for points and ~200ns per Owner lookup — noise next to
+// a simulation.
+func pointHash(node string, v int) uint64 {
+	return hash64([]byte(node + "\x00" + strconv.Itoa(v)))
+}
+
+func ringKeyHash(key string) uint64 {
+	return hash64([]byte(key))
+}
+
+func hash64(b []byte) uint64 {
+	sum := sha256.Sum256(b)
+	return binary.BigEndian.Uint64(sum[:8])
+}
+
+// Owner returns the member owning key: the first virtual node at or
+// clockwise after the key's hash. Every key has exactly one owner for a
+// given membership set; "" only on an empty ring.
+func (r *Ring) Owner(key string) string {
+	if len(r.hashes) == 0 {
+		return ""
+	}
+	h := ringKeyHash(key)
+	i := sort.Search(len(r.hashes), func(i int) bool { return r.hashes[i] >= h })
+	if i == len(r.hashes) {
+		i = 0
+	}
+	return r.nodes[r.owners[i]]
+}
+
+// Nodes returns the ring's members (sorted; a copy).
+func (r *Ring) Nodes() []string {
+	out := make([]string, len(r.nodes))
+	copy(out, r.nodes)
+	return out
+}
+
+// Len returns the member count.
+func (r *Ring) Len() int { return len(r.nodes) }
+
+// Without returns a ring over the same membership minus node, with the
+// same replica count — the "one member left/died" view. Consistent
+// hashing guarantees keys not owned by node keep their owner.
+func (r *Ring) Without(node string) *Ring {
+	keep := make([]string, 0, len(r.nodes))
+	for _, n := range r.nodes {
+		if n != node {
+			keep = append(keep, n)
+		}
+	}
+	return NewRing(keep, r.replicas)
+}

@@ -1,0 +1,127 @@
+package serve
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func ringNodes(n int) []string {
+	nodes := make([]string, n)
+	for i := range nodes {
+		nodes[i] = fmt.Sprintf("http://node-%d:8344", i)
+	}
+	return nodes
+}
+
+// Every key is owned by exactly one member of the ring: ownership is a
+// total, deterministic function into the membership set, whatever the
+// key material and cluster size.
+func TestRingEveryKeyOwnedByExactlyOneNode(t *testing.T) {
+	prop := func(keys []string, nodeCount uint8) bool {
+		n := int(nodeCount%8) + 1
+		r := NewRing(ringNodes(n), 0)
+		members := make(map[string]bool, n)
+		for _, m := range r.Nodes() {
+			members[m] = true
+		}
+		for _, k := range keys {
+			o := r.Owner(k)
+			if !members[o] || o != r.Owner(k) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Removing one member moves only that member's keys: every key owned by
+// a survivor keeps its owner — the consistent-hashing property that
+// makes membership churn cheap for the caches.
+func TestRingRemovalMovesOnlyVictimKeys(t *testing.T) {
+	prop := func(seed int64, nodeCount, victim uint8) bool {
+		n := int(nodeCount%6) + 2 // 2..7 members, so a survivor exists
+		nodes := ringNodes(n)
+		dead := nodes[int(victim)%n]
+		before := NewRing(nodes, 0)
+		after := before.Without(dead)
+		if after.Len() != n-1 {
+			return false
+		}
+		rng := rand.New(rand.NewSource(seed))
+		for i := 0; i < 500; i++ {
+			k := fmt.Sprintf("key-%d", rng.Int63())
+			was := before.Owner(k)
+			if was == dead {
+				continue // this key must move; anywhere live is fine
+			}
+			if after.Owner(k) != was {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Balance: with the default virtual-node count, no member's share of a
+// large key population strays past keys/n ± 50% — the tolerance the
+// cluster's capacity planning (and this suite) is allowed to assume.
+func TestRingBalanceWithinTolerance(t *testing.T) {
+	const keys = 20000
+	for _, n := range []int{2, 3, 5, 8} {
+		r := NewRing(ringNodes(n), 0)
+		counts := make(map[string]int, n)
+		rng := rand.New(rand.NewSource(42))
+		for i := 0; i < keys; i++ {
+			counts[r.Owner(fmt.Sprintf("key-%d", rng.Int63()))]++
+		}
+		if len(counts) != n {
+			t.Fatalf("n=%d: only %d members own keys", n, len(counts))
+		}
+		share := float64(keys) / float64(n)
+		for node, c := range counts {
+			if f := float64(c); f > 1.5*share || f < 0.5*share {
+				t.Errorf("n=%d: %s owns %d keys, outside [%d, %d]",
+					n, node, c, int(0.5*share), int(1.5*share))
+			}
+		}
+	}
+}
+
+// Placement is pinned: the owner of these keys under this membership is
+// part of the compatibility surface. If this test fails, placement
+// drifted across a release — every deployed cluster would re-shard its
+// entire cache on upgrade. Do not "fix" the expectations without
+// meaning exactly that.
+func TestRingPlacementPinned(t *testing.T) {
+	r := NewRing([]string{"http://a:1", "http://b:1", "http://c:1"}, 0)
+	want := map[string]string{
+		"bench=cc scale=6":  "http://c:1",
+		"bench=bfs scale=6": "http://a:1",
+		"k0":                "http://b:1",
+		"k1":                "http://a:1",
+		"k2":                "http://c:1",
+		"k3":                "http://c:1",
+		"k4":                "http://a:1",
+	}
+	for k, w := range want {
+		if got := r.Owner(k); got != w {
+			t.Errorf("Owner(%q) = %q, want %q (placement drift!)", k, got, w)
+		}
+	}
+	// The same membership spelled in a different order and with
+	// duplicates is the same ring.
+	r2 := NewRing([]string{"http://c:1", "http://a:1", "http://b:1", "http://a:1"}, 0)
+	for k, w := range want {
+		if got := r2.Owner(k); got != w {
+			t.Errorf("reordered membership: Owner(%q) = %q, want %q", k, got, w)
+		}
+	}
+}
